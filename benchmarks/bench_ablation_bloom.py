@@ -1,0 +1,64 @@
+"""Ablation: is the Bloom filter a useful data structure? (§VI-C)
+
+The paper found that removing the Bloom filter (Scan-None / Scan-Rand)
+does not degrade — and sometimes improves — performance, and asked
+whether the structure earns its place.  This bench sweeps the filter
+geometry from "tiny, saturating" to "generous" and reports fault counts
+and scanning effort on TPC-H, alongside the removal variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.core.report import render_table
+from repro.policies import POLICY_FACTORIES
+from repro.policies.mglru import MGLRUParams, MGLRUPolicy
+
+#: (label, policy registry name) — custom geometries are registered at
+#: import so SystemConfig validation accepts them.
+SWEEP = [
+    ("bloom-64b", "mglru-bloom-64"),
+    ("bloom-512b", "mglru-bloom-512"),
+    ("bloom-4096b (default)", "mglru"),
+    ("bloom-32768b", "mglru-bloom-32768"),
+    ("scan-none", "mglru-scan-none"),
+    ("scan-rand", "mglru-scan-rand"),
+]
+
+for bits in (64, 512, 32768):
+    POLICY_FACTORIES[f"mglru-bloom-{bits}"] = (
+        lambda bits=bits: MGLRUPolicy(MGLRUParams(bloom_bits=bits))
+    )
+
+
+def _sweep(seeds=(1, 2)):
+    rows = []
+    for label, policy in SWEEP:
+        faults, scanned, runtime = 0.0, 0.0, 0.0
+        for seed in seeds:
+            config = SystemConfig(policy=policy, swap="ssd", capacity_ratio=0.5)
+            trial = run_trial("tpch", config, seed)
+            faults += trial.major_faults / len(seeds)
+            scanned += trial.counters.get("ptes_scanned", 0) / len(seeds)
+            runtime += trial.runtime_s / len(seeds)
+        rows.append([label, runtime, faults, scanned])
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_bloom_geometry(benchmark):
+    """Sweep Bloom geometry and the §V-B removal variants on TPC-H."""
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["configuration", "runtime (s)", "major faults", "PTEs scanned"],
+            rows,
+            title="Ablation: bloom filter geometry (TPC-H, SSD, 50%)",
+            float_format="{:.0f}",
+        )
+    )
+    assert len(rows) == len(SWEEP)

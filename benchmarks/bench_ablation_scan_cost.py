@@ -1,0 +1,62 @@
+"""Ablation: scanning overhead vs. decision quality (§VI-B).
+
+The paper's §VI-B argues that the *ratio* between access-bit scanning
+cost and swap cost governs replacement quality: cheap scans relative to
+faults buy better decisions.  This bench sweeps the scan-cost scale
+factor (see ``repro/core/calibration.py``) across two orders of
+magnitude on both swap media and reports fault counts for Clock and
+MG-LRU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import calibrated_costs
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.core.report import render_table
+
+SCALES = (1, 16, 128)
+POLICIES = ("clock", "mglru")
+
+
+def _sweep(seed=3):
+    rows = []
+    for swap in ("ssd", "zram"):
+        for scale in SCALES:
+            for policy in POLICIES:
+                config = SystemConfig(
+                    policy=policy,
+                    swap=swap,
+                    capacity_ratio=0.5,
+                    costs=calibrated_costs(scan_scale=scale),
+                )
+                trial = run_trial("pagerank", config, seed)
+                rows.append(
+                    [
+                        swap,
+                        f"x{scale}",
+                        policy,
+                        trial.runtime_s,
+                        float(trial.major_faults),
+                        trial.counters.get("rmap_walks", 0.0),
+                    ]
+                )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_scan_cost_ratio(benchmark):
+    """Sweep scan-cost : swap-cost ratio on PageRank."""
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["swap", "scan scale", "policy", "runtime (s)", "faults", "rmap walks"],
+            rows,
+            title="Ablation: scan cost scale (PageRank, 50%)",
+            float_format="{:.2f}",
+        )
+    )
+    assert len(rows) == len(SCALES) * len(POLICIES) * 2

@@ -1,0 +1,74 @@
+"""Extension baselines: FIFO, Random, true LRU and Belady's OPT.
+
+§V-B notes that key-value caches often prefer FIFO variants over LRU
+for Zipfian traffic [17, 29, 30], and §VI-C asks what principled
+randomness can buy.  This bench (a) runs FIFO and Random eviction
+through the full simulator next to Clock and MG-LRU on YCSB-A, and
+(b) bounds them all with exact LRU and OPT fault counts computed
+offline on an equivalent Zipfian page trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.core.report import render_table
+from repro.policies.opt import belady_misses, lru_misses
+from repro.workloads.zipf import ZipfSampler
+
+POLICIES = ("clock", "mglru", "fifo", "random")
+
+
+def _run_policies(seed=5):
+    rows = []
+    for policy in POLICIES:
+        config = SystemConfig(policy=policy, swap="ssd", capacity_ratio=0.5)
+        trial = run_trial("ycsb-a", config, seed)
+        rows.append(
+            [
+                policy,
+                trial.runtime_s,
+                float(trial.major_faults),
+                trial.metrics.get("mean_request_ns", float("nan")) / 1e3,
+            ]
+        )
+    return rows
+
+
+def _offline_bounds(n_pages=4000, capacity=2000, n_accesses=120_000, seed=5):
+    rng = np.random.default_rng(seed)
+    sampler = ZipfSampler(n_pages, theta=0.99, permutation=rng.permutation(n_pages))
+    trace = sampler.sample(rng, n_accesses).tolist()
+    return [
+        ["OPT (Belady)", float(belady_misses(trace, capacity))],
+        ["true LRU", float(lru_misses(trace, capacity))],
+    ]
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_policies_ycsb(benchmark):
+    """FIFO/Random vs Clock/MG-LRU on YCSB-A plus offline bounds."""
+    rows = benchmark.pedantic(_run_policies, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["policy", "runtime (s)", "major faults", "mean request (us)"],
+            rows,
+            title="Baselines on YCSB-A (SSD, 50%)",
+            float_format="{:.2f}",
+        )
+    )
+    bounds = _offline_bounds()
+    print()
+    print(
+        render_table(
+            ["offline policy", "misses"],
+            bounds,
+            title="Offline bounds on an equivalent Zipf(0.99) page trace",
+            float_format="{:.0f}",
+        )
+    )
+    assert bounds[0][1] <= bounds[1][1]  # OPT never worse than LRU

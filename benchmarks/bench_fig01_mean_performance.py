@@ -1,0 +1,17 @@
+"""Reproduce Figure 1: mean runtime and faults, MG-LRU vs Clock (SSD, 50%).
+
+Paper claim (§V-A): MG-LRU matches or outperforms Clock on all benchmarks via decreased swapping
+
+Run: ``pytest benchmarks/bench_fig01_mean_performance.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig1
+
+
+def test_fig01_mean_performance(benchmark, figure_env):
+    """Regenerate Figure 1 and archive its table."""
+    result = run_figure(benchmark, fig1, figure_env)
+    assert result.figure_id == "fig1"
+    assert result.text

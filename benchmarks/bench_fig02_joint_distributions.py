@@ -1,0 +1,17 @@
+"""Reproduce Figure 2: joint runtime/fault distributions, TPC-H and PageRank.
+
+Paper claim (§V-A): TPC-H runtime tracks faults (r^2 > 0.98) with ~3x spread; PageRank is uncorrelated and MG-LRU adds variance over Clock
+
+Run: ``pytest benchmarks/bench_fig02_joint_distributions.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig2
+
+
+def test_fig02_joint_distributions(benchmark, figure_env):
+    """Regenerate Figure 2 and archive its table."""
+    result = run_figure(benchmark, fig2, figure_env)
+    assert result.figure_id == "fig2"
+    assert result.text

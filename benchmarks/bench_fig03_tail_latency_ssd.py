@@ -1,0 +1,17 @@
+"""Reproduce Figure 3: YCSB read/write tail latencies (SSD, 50%).
+
+Paper claim (§V-A): MG-LRU trades higher read tails for lower write tails
+
+Run: ``pytest benchmarks/bench_fig03_tail_latency_ssd.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig3
+
+
+def test_fig03_tail_latency_ssd(benchmark, figure_env):
+    """Regenerate Figure 3 and archive its table."""
+    result = run_figure(benchmark, fig3, figure_env)
+    assert result.figure_id == "fig3"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 4: MG-LRU variant mean runtime and faults (SSD, 50%).
+
+Paper claim (§V-B): Scan-None best / Scan-All worst on TPC-H; ordering flips on PageRank; YCSB insensitive
+
+Run: ``pytest benchmarks/bench_fig04_variant_means.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig4
+
+
+def test_fig04_variant_means(benchmark, figure_env):
+    """Regenerate Figure 4 and archive its table."""
+    result = run_figure(benchmark, fig4, figure_env)
+    assert result.figure_id == "fig4"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 5: variant joint runtime/fault distributions.
+
+Paper claim (§V-B): Scan-All shows a steeper runtime-per-fault slope (stragglers); Scan-None has the lowest fault mean and spread on TPC-H
+
+Run: ``pytest benchmarks/bench_fig05_variant_joint.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig5
+
+
+def test_fig05_variant_joint(benchmark, figure_env):
+    """Regenerate Figure 5 and archive its table."""
+    result = run_figure(benchmark, fig5, figure_env)
+    assert result.figure_id == "fig5"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 6: mean performance at 75% and 90% capacity ratios.
+
+Paper claim (§V-C): policies converge within a few percent; Clock sometimes wins small but statistically significant margins
+
+Run: ``pytest benchmarks/bench_fig06_capacity_means.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig6
+
+
+def test_fig06_capacity_means(benchmark, figure_env):
+    """Regenerate Figure 6 and archive its table."""
+    result = run_figure(benchmark, fig6, figure_env)
+    assert result.figure_id == "fig6"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 7: fault distributions at 75% and 90% ratios.
+
+Paper claim (§V-C): MG-LRU configurations show outlier executions on PageRank (up to ~6x mean); Clock stays tight
+
+Run: ``pytest benchmarks/bench_fig07_capacity_fault_dists.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig7
+
+
+def test_fig07_capacity_fault_dists(benchmark, figure_env):
+    """Regenerate Figure 7 and archive its table."""
+    result = run_figure(benchmark, fig7, figure_env)
+    assert result.figure_id == "fig7"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 8: YCSB tail latencies at 75% and 90% ratios.
+
+Paper claim (§V-C): read tails converge with capacity; write-tail comparisons become workload-dependent
+
+Run: ``pytest benchmarks/bench_fig08_tail_latency_capacity.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig8
+
+
+def test_fig08_tail_latency_capacity(benchmark, figure_env):
+    """Regenerate Figure 8 and archive its table."""
+    result = run_figure(benchmark, fig8, figure_env)
+    assert result.figure_id == "fig8"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 9: mean performance with ZRAM swap (50%).
+
+Paper claim (§V-D): Clock matches MG-LRU on every workload except PageRank
+
+Run: ``pytest benchmarks/bench_fig09_zram_means.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig9
+
+
+def test_fig09_zram_means(benchmark, figure_env):
+    """Regenerate Figure 9 and archive its table."""
+    result = run_figure(benchmark, fig9, figure_env)
+    assert result.figure_id == "fig9"
+    assert result.text

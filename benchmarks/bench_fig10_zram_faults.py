@@ -1,0 +1,17 @@
+"""Reproduce Figure 10: mean faults with ZRAM swap (50%).
+
+Paper claim (§V-D): fault counts coincide with the runtime picture
+
+Run: ``pytest benchmarks/bench_fig10_zram_faults.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig10
+
+
+def test_fig10_zram_faults(benchmark, figure_env):
+    """Regenerate Figure 10 and archive its table."""
+    result = run_figure(benchmark, fig10, figure_env)
+    assert result.figure_id == "fig10"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 11: runtime and fault deltas, ZRAM vs SSD.
+
+Paper claim (§V-D): runtimes drop sharply while faults stay flat or rise (PageRank: ~5x faster yet ~3x more faults)
+
+Run: ``pytest benchmarks/bench_fig11_zram_vs_ssd.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig11
+
+
+def test_fig11_zram_vs_ssd(benchmark, figure_env):
+    """Regenerate Figure 11 and archive its table."""
+    result = run_figure(benchmark, fig11, figure_env)
+    assert result.figure_id == "fig11"
+    assert result.text

@@ -1,0 +1,17 @@
+"""Reproduce Figure 12: YCSB tail latencies with ZRAM swap.
+
+Paper claim (§V-D): MG-LRU exhibits 2-5x longer p99.99 tails; Clock strictly wins tail performance
+
+Run: ``pytest benchmarks/bench_fig12_tail_latency_zram.py --benchmark-only``
+(set ``REPRO_TRIALS=25`` for paper-fidelity trial counts).
+"""
+
+from conftest import run_figure
+from repro.core.figures import fig12
+
+
+def test_fig12_tail_latency_zram(benchmark, figure_env):
+    """Regenerate Figure 12 and archive its table."""
+    result = run_figure(benchmark, fig12, figure_env)
+    assert result.figure_id == "fig12"
+    assert result.text

@@ -1,0 +1,69 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+All benchmarks share one :class:`~repro.core.experiment.ExperimentRunner`
+so experiment cells common to several figures (e.g. the SSD@50% grid
+used by Figures 1, 2, 4, 5 and 11) are measured once per session.
+
+Environment knobs:
+
+- ``REPRO_TRIALS`` — trials per cell (default 3 for a quick pass;
+  set 25 to match the paper's §IV methodology; YCSB cells always run
+  ``max(2, trials // 2)`` since latencies pool across trials);
+- ``REPRO_SEED`` — base seed (default 10000).
+
+Each figure's rendered table is printed and archived under
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def figure_env():
+    """(runner, n_trials, base_seed) shared by every figure benchmark."""
+    runner = ExperimentRunner()
+    n_trials = max(1, _env_int("REPRO_TRIALS", 3))
+    base_seed = _env_int("REPRO_SEED", 10_000)
+    return runner, n_trials, base_seed
+
+
+def archive_figure(result) -> None:
+    """Write a figure's text rendering to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{result.figure_id}.txt"
+    path.write_text(
+        f"{result.figure_id}: {result.description}\n"
+        f"paper claim: {result.paper_claim}\n\n{result.text}\n"
+    )
+
+
+def run_figure(benchmark, figure_fn, figure_env):
+    """Standard body of one figure benchmark."""
+    runner, n_trials, base_seed = figure_env
+    result = benchmark.pedantic(
+        figure_fn,
+        args=(runner,),
+        kwargs={"n_trials": n_trials, "base_seed": base_seed},
+        rounds=1,
+        iterations=1,
+    )
+    archive_figure(result)
+    print()
+    print(result)
+    return result

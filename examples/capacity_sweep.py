@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Sweep the capacity-to-footprint ratio, as the paper's §V-C does.
+
+Runs TPC-H under both policies at 50%, 75% and 90% ratios and shows how
+fault counts — and with them the difference between policies — collapse
+as memory pressure eases.
+
+    python examples/capacity_sweep.py
+"""
+
+from repro import SystemConfig, run_trial
+from repro.core.config import PAPER_RATIOS
+from repro.core.report import render_table
+
+
+def main() -> None:
+    rows = []
+    for ratio in PAPER_RATIOS:
+        baseline = None
+        for policy in ("clock", "mglru"):
+            config = SystemConfig(policy=policy, swap="ssd", capacity_ratio=ratio)
+            trial = run_trial("tpch", config, seed=7)
+            if baseline is None:
+                baseline = trial.runtime_s
+            rows.append(
+                [
+                    f"{int(ratio * 100)}%",
+                    policy,
+                    trial.runtime_s,
+                    trial.runtime_s / baseline,
+                    float(trial.major_faults),
+                ]
+            )
+    print(
+        render_table(
+            ["ratio", "policy", "runtime (s)", "vs Clock", "major faults"],
+            rows,
+            title="TPC-H across capacity-to-footprint ratios (SSD swap)",
+            float_format="{:.3f}",
+        )
+    )
+    print(
+        "\nAt 50% the replacement policy is on the critical path; by 90%"
+        "\nfault counts are small enough that all policies look alike"
+        "\n(the paper's Figure 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

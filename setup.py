@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships a setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail.  ``pip install -e . --no-build-isolation
+--no-use-pep517`` uses this shim instead; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Unit constants and helpers shared across the simulator.
+
+All simulated time is kept in integer *nanoseconds* on the engine clock.
+Durations in configuration files are written with these constants so the
+magnitude is obvious at the point of use (``7_500 * US`` beats ``7500000``).
+
+All memory sizes are kept in 4 KiB pages unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit of simulated time).
+NS = 1
+#: One microsecond in nanoseconds.
+US = 1_000
+#: One millisecond in nanoseconds.
+MS = 1_000_000
+#: One second in nanoseconds.
+SECOND = 1_000_000_000
+
+#: Bytes per page (x86-64 base page).
+PAGE_SIZE = 4096
+#: PTEs per page-table region — the granularity of MG-LRU's Bloom
+#: filter and of eviction-time spatial scans.
+#:
+#: On real x86-64 a leaf page-table page holds 512 PTEs, so a 14 GB
+#: footprint spans ~7,000 regions.  Our scaled-down footprints are a
+#: few thousand pages; with 512-PTE regions they would span fewer than
+#: ten regions and region-granular mechanisms (the Bloom filter,
+#: Scan-Rand's coin flips, bimodal walk skew) would degenerate.  We
+#: scale the region to 64 PTEs so the *number of regions per footprint*
+#: stays within a sane factor of paper scale.  See
+#: ``repro/core/calibration.py`` for the full scale-down argument.
+PTES_PER_REGION = 64
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def ns_to_ms(ns: int) -> float:
+    """Convert nanoseconds to fractional milliseconds."""
+    return ns / MS
+
+
+def ns_to_us(ns: int) -> float:
+    """Convert nanoseconds to fractional microseconds."""
+    return ns / US
+
+
+def ns_to_seconds(ns: int) -> float:
+    """Convert nanoseconds to fractional seconds."""
+    return ns / SECOND
+
+
+def pages_to_bytes(pages: int) -> int:
+    """Size in bytes of *pages* 4 KiB pages."""
+    return pages * PAGE_SIZE
+
+
+def bytes_to_pages(n_bytes: int) -> int:
+    """Number of whole pages needed to hold *n_bytes* (rounds up)."""
+    return -(-n_bytes // PAGE_SIZE)

@@ -1,0 +1,25 @@
+"""The characterization framework: the paper's methodology as a library.
+
+- :mod:`~repro.core.config` — system/experiment configuration;
+- :mod:`~repro.core.calibration` — the scale-down cost calibration;
+- :mod:`~repro.core.experiment` — seeded trials, repetition, grids;
+- :mod:`~repro.core.results` — trial/experiment result containers;
+- :mod:`~repro.core.metrics` — tail percentiles and normalizations;
+- :mod:`~repro.core.stats` — r², Welch, Mann-Whitney, bootstrap CIs;
+- :mod:`~repro.core.distributions` — joint and quartile summaries;
+- :mod:`~repro.core.report` — plain-text tables for figures;
+- :mod:`~repro.core.figures` — one generator per paper figure.
+"""
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.experiment import ExperimentRunner, run_trial
+from repro.core.results import ExperimentResult, TrialResult
+
+__all__ = [
+    "SystemConfig",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_trial",
+    "TrialResult",
+    "ExperimentResult",
+]

@@ -1,0 +1,79 @@
+"""Joint (runtime, faults) distribution analysis — Figures 2, 5 and 7.
+
+The paper's scatter plots carry three findings our text reports must
+preserve: the runtime spread (max/min ratio), the runtime~faults
+correlation (r², near-perfect for TPC-H, absent for PageRank), and the
+per-policy fault-distribution shape (outlier executions at higher
+capacities, Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.metrics import five_number_summary
+from repro.core.results import ExperimentResult
+from repro.core.stats import LinearFit, coefficient_of_variation, linear_fit
+
+
+@dataclass(frozen=True)
+class JointDistribution:
+    """Summary of one cell's (runtime, faults) scatter."""
+
+    workload: str
+    policy: str
+    runtimes_s: np.ndarray
+    faults: np.ndarray
+    fit: LinearFit
+    runtime_spread: float
+    runtime_cv: float
+    fault_cv: float
+
+    @property
+    def r_squared(self) -> float:
+        """Runtime ~ faults fit quality."""
+        return self.fit.r_squared
+
+
+def joint_distribution(result: ExperimentResult) -> JointDistribution:
+    """Build the joint summary of one experiment cell."""
+    runtimes_s = result.runtimes_ns() / 1e9
+    faults = result.faults()
+    if len(runtimes_s) >= 2:
+        fit = linear_fit(faults, runtimes_s)
+    else:
+        fit = LinearFit(0.0, float(runtimes_s.mean()), 0.0, len(runtimes_s))
+    return JointDistribution(
+        workload=result.workload,
+        policy=result.policy,
+        runtimes_s=runtimes_s,
+        faults=faults,
+        fit=fit,
+        runtime_spread=result.runtime_spread(),
+        runtime_cv=coefficient_of_variation(runtimes_s),
+        fault_cv=coefficient_of_variation(faults),
+    )
+
+
+def fault_distribution_summary(
+    results: List[ExperimentResult],
+    normalize_to_policy: str = "mglru",
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 7 contents: per-policy five-number summaries of fault counts,
+    normalized to the mean faults of *normalize_to_policy*."""
+    baseline = None
+    for r in results:
+        if r.policy == normalize_to_policy:
+            baseline = r.mean_faults()
+            break
+    if baseline is None or baseline == 0:
+        baseline = max(1.0, results[0].mean_faults()) if results else 1.0
+    out: Dict[str, Dict[str, float]] = {}
+    for r in results:
+        summary = five_number_summary(r.faults() / baseline)
+        summary["mean"] = float(r.faults().mean() / baseline)
+        out[r.policy] = summary
+    return out

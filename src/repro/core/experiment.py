@@ -1,0 +1,160 @@
+"""Trial execution: one "rebooted" run per seed, repeated per cell.
+
+``run_trial`` builds a completely fresh simulator — engine, memory
+system, policy, swap device, workload — for every execution, the
+simulator analogue of the paper's per-execution reboot (§IV).  The
+:class:`ExperimentRunner` repeats trials across seeds and caches cells
+so figure generators can share measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.results import ExperimentResult, TrialResult
+from repro.mm.system import MemorySystem
+from repro.policies import make_policy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngTree
+from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+from repro.workloads import make_workload
+
+
+def build_system(
+    engine: Engine,
+    rng: RngTree,
+    config: SystemConfig,
+    capacity_frames: int,
+) -> MemorySystem:
+    """Construct the memory system for one trial."""
+    policy = make_policy(config.policy)
+    if config.swap == "ssd":
+        device = SSDSwapDevice(engine, rng.stream("ssd"), config.ssd_costs)
+    else:
+        device = ZRAMSwapDevice(rng.stream("zram"), config.zram_costs)
+    return MemorySystem(
+        engine,
+        rng,
+        policy,
+        device,
+        capacity_frames=capacity_frames,
+        n_cpus=config.n_cpus,
+        costs=config.costs,
+    )
+
+
+#: Seed of the *dataset* RNG tree.  The paper reruns the same binary on
+#: the same input 25 times; only the system varies across reboots.  So
+#: workload data structures (tables, the graph, item placement) are
+#: built from this fixed seed, while everything dynamic (request
+#: streams, probe picks, jitter, device latencies, ASLR) draws from the
+#: per-trial seed.
+DATASET_SEED = 0x5EED_DA7A
+
+
+def run_trial(
+    workload_name: str,
+    system_config: SystemConfig,
+    seed: int,
+) -> TrialResult:
+    """One full workload execution on a fresh simulator."""
+    engine = Engine()
+    rng = RngTree(seed)
+    workload = make_workload(workload_name)
+    dataset_rng = RngTree(DATASET_SEED).subtree("dataset", workload_name)
+    footprint = workload.prepare(dataset_rng)
+    capacity = max(64, int(footprint * system_config.capacity_ratio))
+    system = build_system(engine, rng, system_config, capacity)
+    workload.setup(system)
+    system.start()
+    workload.spawn(system)
+    runtime_ns = engine.run()
+
+    stats = system.stats
+    stats.rmap_walks = system.rmap.walk_count
+    wl_result = workload.result()
+    counters = stats.snapshot()
+    counters["swap_reads"] = system.swap_device.stats.reads
+    counters["swap_writes"] = system.swap_device.stats.writes
+    counters["cpu_utilization"] = system.cpu.utilization()
+    return TrialResult(
+        workload=workload_name,
+        policy=system_config.policy,
+        swap=system_config.swap,
+        capacity_ratio=system_config.capacity_ratio,
+        seed=seed,
+        runtime_ns=runtime_ns,
+        major_faults=stats.major_faults,
+        minor_faults=stats.minor_faults,
+        counters=counters,
+        metrics=wl_result.metrics,
+        latencies_ns=wl_result.latencies_ns,
+        footprint_pages=footprint,
+        capacity_frames=capacity,
+    )
+
+
+class ExperimentRunner:
+    """Runs experiment cells with caching and optional progress callbacks."""
+
+    def __init__(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._cache: Dict[tuple, ExperimentResult] = {}
+        self._progress = progress
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Run (or fetch from cache) all trials of one cell."""
+        key = (
+            config.workload,
+            config.system.policy,
+            config.system.swap,
+            config.system.capacity_ratio,
+            config.n_trials,
+            config.base_seed,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = ExperimentResult(
+            workload=config.workload,
+            policy=config.system.policy,
+            swap=config.system.swap,
+            capacity_ratio=config.system.capacity_ratio,
+        )
+        for i, seed in enumerate(config.seeds()):
+            self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
+            result.add(run_trial(config.workload, config.system, seed))
+        self._cache[key] = result
+        return result
+
+    def run_grid(
+        self,
+        workloads: Iterable[str],
+        policies: Iterable[str],
+        swap: str = "ssd",
+        capacity_ratio: float = 0.5,
+        n_trials: int = 25,
+        base_seed: int = 10_000,
+    ) -> List[ExperimentResult]:
+        """Run the cross product of workloads × policies at one
+        (swap, ratio) point — the shape of most paper figures."""
+        results = []
+        for workload in workloads:
+            for policy in policies:
+                config = ExperimentConfig(
+                    workload=workload,
+                    system=SystemConfig(
+                        policy=policy, swap=swap, capacity_ratio=capacity_ratio
+                    ),
+                    n_trials=n_trials,
+                    base_seed=base_seed,
+                )
+                results.append(self.run(config))
+        return results

@@ -1,0 +1,727 @@
+"""Per-figure experiment definitions: one generator per paper figure.
+
+Every figure of the paper's evaluation (§V) has a function here that
+runs the experiments behind it and renders the same rows/series as a
+text table, together with the paper's claim so the output reads as a
+paper-vs-measured comparison.  The benchmarks in ``benchmarks/`` are
+thin wrappers around these functions.
+
+Trial counts: the paper uses 25 executions per cell for TPC-H and
+PageRank and a single long run for YCSB tails.  These functions accept
+``n_trials`` so benchmarks can trade fidelity for wall-clock; YCSB
+cells run ``max(2, n_trials // 2)`` trials because request latencies
+pool across trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.distributions import (
+    fault_distribution_summary,
+    joint_distribution,
+)
+from repro.core.experiment import ExperimentRunner
+from repro.core.metrics import TAIL_PERCENTILES, tail_latencies
+from repro.core.report import render_table
+from repro.core.results import ExperimentResult
+from repro.core.stats import welch_ttest
+from repro.policies import MGLRU_VARIANTS, PAPER_POLICIES
+from repro.workloads import PAPER_WORKLOADS
+
+#: Pretty names for table rows.
+POLICY_LABELS = {
+    "clock": "Clock",
+    "mglru": "MG-LRU",
+    "mglru-gen14": "Gen-14",
+    "mglru-scan-all": "Scan-All",
+    "mglru-scan-none": "Scan-None",
+    "mglru-scan-rand": "Scan-Rand",
+    "fifo": "FIFO",
+    "random": "Random",
+}
+
+WORKLOAD_LABELS = {
+    "tpch": "TPC-H",
+    "pagerank": "PageRank",
+    "ycsb-a": "YCSB-A",
+    "ycsb-b": "YCSB-B",
+    "ycsb-c": "YCSB-C",
+}
+
+#: Workloads with per-request latencies.
+YCSB_WORKLOADS = ("ycsb-a", "ycsb-b", "ycsb-c")
+#: Workloads the joint-distribution figures use.
+DIST_WORKLOADS = ("tpch", "pagerank")
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: text rendering plus structured data."""
+
+    figure_id: str
+    description: str
+    paper_claim: str
+    text: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"=== {self.figure_id}: {self.description} ===\n"
+            f"paper: {self.paper_claim}\n{self.text}"
+        )
+
+
+def _ycsb_trials(n_trials: int) -> int:
+    return max(2, n_trials // 2)
+
+
+def _cell(
+    runner: ExperimentRunner,
+    workload: str,
+    policy: str,
+    swap: str,
+    ratio: float,
+    n_trials: int,
+    base_seed: int,
+) -> ExperimentResult:
+    trials = _ycsb_trials(n_trials) if workload in YCSB_WORKLOADS else n_trials
+    return runner.run(
+        ExperimentConfig(
+            workload=workload,
+            system=SystemConfig(policy=policy, swap=swap, capacity_ratio=ratio),
+            n_trials=trials,
+            base_seed=base_seed,
+        )
+    )
+
+
+def _perf_metric(result: ExperimentResult) -> float:
+    """Mean performance: total runtime, except YCSB where the paper
+    normalizes the average request time (Fig. 1 caption)."""
+    if result.workload in YCSB_WORKLOADS:
+        value = result.mean_request_ns()
+        if not np.isnan(value):
+            return value
+    return result.mean_runtime_ns()
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — mean runtime & faults, MG-LRU vs Clock (SSD, 50%)
+# ----------------------------------------------------------------------
+
+def fig1(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Average execution time (a) and fault counts (b) normalized to
+    Clock-LRU; SSD swap, 50% capacity-to-footprint ratio."""
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in PAPER_WORKLOADS:
+        clock = _cell(runner, workload, "clock", "ssd", 0.5, n_trials, base_seed)
+        mglru = _cell(runner, workload, "mglru", "ssd", 0.5, n_trials, base_seed)
+        rel_perf = _perf_metric(mglru) / _perf_metric(clock)
+        rel_faults = (
+            mglru.mean_faults() / clock.mean_faults()
+            if clock.mean_faults()
+            else float("nan")
+        )
+        rows.append([WORKLOAD_LABELS[workload], rel_perf, rel_faults])
+        data[workload] = {
+            "mglru_rel_runtime": rel_perf,
+            "mglru_rel_faults": rel_faults,
+            "clock_runtime_s": clock.mean_runtime_ns() / 1e9,
+            "mglru_runtime_s": mglru.mean_runtime_ns() / 1e9,
+        }
+    text = render_table(
+        ["workload", "MG-LRU runtime (vs Clock=1)", "MG-LRU faults (vs Clock=1)"],
+        rows,
+        title="Fig 1: MG-LRU normalized to Clock-LRU (SSD, 50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig1",
+        description="Mean runtime and faults, MG-LRU vs Clock (SSD, 50%)",
+        paper_claim=(
+            "MG-LRU matches or outperforms Clock on all benchmarks "
+            "(normalized runtime <= 1), due to decreased swapping"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — joint (runtime, faults) distributions (SSD, 50%)
+# ----------------------------------------------------------------------
+
+def fig2(
+    runner: ExperimentRunner,
+    n_trials: int = 8,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Joint distributions of execution time and faults for TPC-H and
+    PageRank under Clock and MG-LRU."""
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in DIST_WORKLOADS:
+        for policy in ("clock", "mglru"):
+            cell = _cell(runner, workload, policy, "ssd", 0.5, n_trials, base_seed)
+            joint = joint_distribution(cell)
+            rows.append(
+                [
+                    WORKLOAD_LABELS[workload],
+                    POLICY_LABELS[policy],
+                    float(joint.runtimes_s.mean()),
+                    joint.runtime_spread,
+                    joint.runtime_cv,
+                    joint.fault_cv,
+                    joint.r_squared,
+                ]
+            )
+            data[f"{workload}/{policy}"] = {
+                "runtimes_s": joint.runtimes_s.tolist(),
+                "faults": joint.faults.tolist(),
+                "r_squared": joint.r_squared,
+                "runtime_spread": joint.runtime_spread,
+            }
+    text = render_table(
+        [
+            "workload",
+            "policy",
+            "mean runtime (s)",
+            "max/min runtime",
+            "runtime CV",
+            "fault CV",
+            "r^2(runtime~faults)",
+        ],
+        rows,
+        title="Fig 2: joint runtime/fault distributions (SSD, 50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig2",
+        description="Joint runtime/fault distributions, TPC-H & PageRank",
+        paper_claim=(
+            "TPC-H: runtime~faults nearly linear (r^2 > 0.98), spread ~3x "
+            "for both policies; PageRank: no correlation, Clock tight but "
+            "MG-LRU spread ~2x"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — YCSB tail latencies (SSD, 50%)
+# ----------------------------------------------------------------------
+
+def _tail_rows(
+    runner: ExperimentRunner,
+    swap: str,
+    ratio: float,
+    policies: Sequence[str],
+    n_trials: int,
+    base_seed: int,
+) -> tuple[list, Dict[str, object]]:
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in YCSB_WORKLOADS:
+        for policy in policies:
+            cell = _cell(runner, workload, policy, swap, ratio, n_trials, base_seed)
+            for op in ("read", "write"):
+                pooled = cell.pooled_latencies_ns(op)
+                if not len(pooled):
+                    continue
+                tails = tail_latencies(pooled)
+                rows.append(
+                    [
+                        WORKLOAD_LABELS[workload],
+                        POLICY_LABELS[policy],
+                        op,
+                        *[tails[q] / 1e3 for q in TAIL_PERCENTILES],
+                    ]
+                )
+                data[f"{workload}/{policy}/{op}"] = {
+                    str(q): tails[q] for q in TAIL_PERCENTILES
+                }
+    return rows, data
+
+
+def fig3(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """YCSB read/write tail latency distributions (SSD, 50%)."""
+    rows, data = _tail_rows(
+        runner, "ssd", 0.5, ("clock", "mglru"), n_trials, base_seed
+    )
+    text = render_table(
+        ["workload", "policy", "op", "p90 (us)", "p99 (us)", "p99.9 (us)", "p99.99 (us)"],
+        rows,
+        title="Fig 3: YCSB tail latencies (SSD, 50% ratio)",
+        float_format="{:.1f}",
+    )
+    return FigureResult(
+        figure_id="fig3",
+        description="YCSB tail latencies under SSD swap",
+        paper_claim=(
+            "MG-LRU trades higher read tails (+20-40% at p99.99) for lower "
+            "write tails (Clock +10-50% past p99); YCSB-C has no writes"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — MG-LRU variants, mean runtime & faults (SSD, 50%)
+# ----------------------------------------------------------------------
+
+def fig4(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Mean performance and faults of the MG-LRU parameter variants,
+    normalized to default MG-LRU."""
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in PAPER_WORKLOADS:
+        base = _cell(runner, workload, "mglru", "ssd", 0.5, n_trials, base_seed)
+        base_perf = _perf_metric(base)
+        base_faults = base.mean_faults() or float("nan")
+        for policy in MGLRU_VARIANTS:
+            cell = _cell(runner, workload, policy, "ssd", 0.5, n_trials, base_seed)
+            rel_perf = _perf_metric(cell) / base_perf
+            rel_faults = cell.mean_faults() / base_faults
+            rows.append(
+                [WORKLOAD_LABELS[workload], POLICY_LABELS[policy], rel_perf, rel_faults]
+            )
+            data[f"{workload}/{policy}"] = {
+                "rel_runtime": rel_perf,
+                "rel_faults": rel_faults,
+            }
+    text = render_table(
+        ["workload", "variant", "runtime (vs MG-LRU=1)", "faults (vs MG-LRU=1)"],
+        rows,
+        title="Fig 4: MG-LRU variants normalized to default (SSD, 50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig4",
+        description="MG-LRU parameter variants, mean runtime and faults",
+        paper_claim=(
+            "On TPC-H, Scan-None improves >20% while Scan-All degrades >60%; "
+            "the ordering flips on PageRank; YCSB is insensitive; Gen-14 "
+            "helps slightly but not significantly (p > 0.05)"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — variant joint distributions (SSD, 50%)
+# ----------------------------------------------------------------------
+
+def fig5(
+    runner: ExperimentRunner,
+    n_trials: int = 8,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Joint runtime/fault distributions for the MG-LRU variants on
+    TPC-H and PageRank."""
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in DIST_WORKLOADS:
+        for policy in MGLRU_VARIANTS:
+            cell = _cell(runner, workload, policy, "ssd", 0.5, n_trials, base_seed)
+            joint = joint_distribution(cell)
+            slope_ms = joint.fit.slope * 1e3  # s/fault -> ms/fault
+            rows.append(
+                [
+                    WORKLOAD_LABELS[workload],
+                    POLICY_LABELS[policy],
+                    float(joint.runtimes_s.mean()),
+                    float(joint.faults.mean()),
+                    slope_ms,
+                    joint.r_squared,
+                    joint.runtime_spread,
+                ]
+            )
+            data[f"{workload}/{policy}"] = {
+                "runtimes_s": joint.runtimes_s.tolist(),
+                "faults": joint.faults.tolist(),
+                "slope_ms_per_fault": slope_ms,
+                "r_squared": joint.r_squared,
+            }
+    text = render_table(
+        [
+            "workload",
+            "variant",
+            "mean runtime (s)",
+            "mean faults",
+            "slope (ms/fault)",
+            "r^2",
+            "max/min runtime",
+        ],
+        rows,
+        title="Fig 5: variant joint distributions (SSD, 50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig5",
+        description="Variant joint runtime/fault distributions",
+        paper_claim=(
+            "TPC-H keeps its linear runtime~faults relation with equal "
+            "slope for all variants except Scan-All (steeper: straggler "
+            "threads); Scan-None has lowest fault mean and spread on TPC-H; "
+            "PageRank runtime stays uncorrelated with faults"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — mean performance at 75% and 90% ratios
+# ----------------------------------------------------------------------
+
+def fig6(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Mean performance at relaxed memory pressure, normalized to
+    default MG-LRU, with Clock-vs-MG-LRU significance tests."""
+    rows = []
+    data: Dict[str, object] = {}
+    for ratio in (0.75, 0.9):
+        for workload in PAPER_WORKLOADS:
+            base = _cell(runner, workload, "mglru", "ssd", ratio, n_trials, base_seed)
+            base_perf = _perf_metric(base)
+            for policy in PAPER_POLICIES:
+                cell = _cell(runner, workload, policy, "ssd", ratio, n_trials, base_seed)
+                rel = _perf_metric(cell) / base_perf
+                p_value = float("nan")
+                if policy == "clock" and cell.n_trials >= 2 and base.n_trials >= 2:
+                    _, p_value = welch_ttest(
+                        cell.runtimes_ns(), base.runtimes_ns()
+                    )
+                rows.append(
+                    [
+                        f"{int(ratio * 100)}%",
+                        WORKLOAD_LABELS[workload],
+                        POLICY_LABELS[policy],
+                        rel,
+                        p_value,
+                    ]
+                )
+                data[f"{ratio}/{workload}/{policy}"] = {
+                    "rel_runtime": rel,
+                    "welch_p_vs_mglru": p_value,
+                }
+    text = render_table(
+        ["ratio", "workload", "policy", "runtime (vs MG-LRU=1)", "p(Clock vs MG-LRU)"],
+        rows,
+        title="Fig 6: mean performance at 75%/90% ratios (SSD)",
+        float_format="{:.4f}",
+    )
+    return FigureResult(
+        figure_id="fig6",
+        description="Mean performance at relaxed capacity ratios",
+        paper_claim=(
+            "All policies within a few percent of each other; Clock shows "
+            "small (2-5%) but statistically significant (p < 0.01) wins in "
+            "some cells"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — fault distributions at 75% and 90% ratios
+# ----------------------------------------------------------------------
+
+def fig7(
+    runner: ExperimentRunner,
+    n_trials: int = 8,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Normalized fault distributions (min/quartiles/max) at relaxed
+    ratios for TPC-H and PageRank."""
+    rows = []
+    data: Dict[str, object] = {}
+    for ratio in (0.75, 0.9):
+        for workload in DIST_WORKLOADS:
+            cells = [
+                _cell(runner, workload, policy, "ssd", ratio, n_trials, base_seed)
+                for policy in PAPER_POLICIES
+            ]
+            summaries = fault_distribution_summary(cells, normalize_to_policy="mglru")
+            for policy in PAPER_POLICIES:
+                s = summaries[policy]
+                rows.append(
+                    [
+                        f"{int(ratio * 100)}%",
+                        WORKLOAD_LABELS[workload],
+                        POLICY_LABELS[policy],
+                        s["min"],
+                        s["q1"],
+                        s["median"],
+                        s["q3"],
+                        s["max"],
+                    ]
+                )
+                data[f"{ratio}/{workload}/{policy}"] = s
+    text = render_table(
+        ["ratio", "workload", "policy", "min", "q1", "median", "q3", "max"],
+        rows,
+        title=(
+            "Fig 7: fault distributions normalized to mean MG-LRU faults "
+            "(SSD, 75%/90%)"
+        ),
+    )
+    return FigureResult(
+        figure_id="fig7",
+        description="Fault distributions at relaxed capacity ratios",
+        paper_claim=(
+            "At 75%, every MG-LRU configuration shows outlier executions on "
+            "PageRank (up to ~6x the mean) with negligible interquartile "
+            "range; Clock's fault distribution stays tight"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — YCSB tails at 75% and 90% ratios
+# ----------------------------------------------------------------------
+
+def fig8(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """YCSB tail latencies at relaxed memory pressure."""
+    blocks = []
+    data: Dict[str, object] = {}
+    for ratio in (0.75, 0.9):
+        rows, block_data = _tail_rows(
+            runner, "ssd", ratio, ("clock", "mglru"), n_trials, base_seed
+        )
+        blocks.append(
+            render_table(
+                [
+                    "workload",
+                    "policy",
+                    "op",
+                    "p90 (us)",
+                    "p99 (us)",
+                    "p99.9 (us)",
+                    "p99.99 (us)",
+                ],
+                rows,
+                title=f"Fig 8 at {int(ratio * 100)}% ratio (SSD)",
+                float_format="{:.1f}",
+            )
+        )
+        data[str(ratio)] = block_data
+    return FigureResult(
+        figure_id="fig8",
+        description="YCSB tail latencies at 75%/90% ratios",
+        paper_claim=(
+            "Clock keeps lower read tails; write-tail comparisons become "
+            "workload-dependent at 90%; read tails converge as capacity "
+            "grows"
+        ),
+        text="\n\n".join(blocks),
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9 & 10 — ZRAM mean performance and faults (50%)
+# ----------------------------------------------------------------------
+
+def _zram_cells(
+    runner: ExperimentRunner, n_trials: int, base_seed: int
+) -> Dict[tuple, ExperimentResult]:
+    cells = {}
+    for workload in PAPER_WORKLOADS:
+        for policy in PAPER_POLICIES:
+            cells[(workload, policy)] = _cell(
+                runner, workload, policy, "zram", 0.5, n_trials, base_seed
+            )
+    return cells
+
+
+def fig9(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Mean performance with ZRAM swap, normalized to default MG-LRU."""
+    cells = _zram_cells(runner, n_trials, base_seed)
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in PAPER_WORKLOADS:
+        base_perf = _perf_metric(cells[(workload, "mglru")])
+        for policy in PAPER_POLICIES:
+            rel = _perf_metric(cells[(workload, policy)]) / base_perf
+            rows.append([WORKLOAD_LABELS[workload], POLICY_LABELS[policy], rel])
+            data[f"{workload}/{policy}"] = {"rel_runtime": rel}
+    text = render_table(
+        ["workload", "policy", "runtime (vs MG-LRU=1)"],
+        rows,
+        title="Fig 9: mean performance with ZRAM swap (50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig9",
+        description="Mean performance with ZRAM swap",
+        paper_claim=(
+            "Clock matches MG-LRU on every workload except PageRank, where "
+            "Clock is worse; MG-LRU variants are consistent with each other"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+def fig10(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Mean fault counts with ZRAM swap, normalized to default MG-LRU."""
+    cells = _zram_cells(runner, n_trials, base_seed)
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in PAPER_WORKLOADS:
+        base_faults = cells[(workload, "mglru")].mean_faults() or float("nan")
+        for policy in PAPER_POLICIES:
+            rel = cells[(workload, policy)].mean_faults() / base_faults
+            rows.append([WORKLOAD_LABELS[workload], POLICY_LABELS[policy], rel])
+            data[f"{workload}/{policy}"] = {"rel_faults": rel}
+    text = render_table(
+        ["workload", "policy", "faults (vs MG-LRU=1)"],
+        rows,
+        title="Fig 10: mean faults with ZRAM swap (50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig10",
+        description="Mean faults with ZRAM swap",
+        paper_claim=(
+            "Fault counts coincide with the runtime picture: Clock faults "
+            "as much as MG-LRU everywhere except PageRank"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — ZRAM vs SSD deltas
+# ----------------------------------------------------------------------
+
+def fig11(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """Change in runtime and faults when swapping to ZRAM instead of SSD."""
+    rows = []
+    data: Dict[str, object] = {}
+    for workload in PAPER_WORKLOADS:
+        for policy in ("clock", "mglru"):
+            ssd = _cell(runner, workload, policy, "ssd", 0.5, n_trials, base_seed)
+            zram = _cell(runner, workload, policy, "zram", 0.5, n_trials, base_seed)
+            runtime_ratio = zram.mean_runtime_ns() / ssd.mean_runtime_ns()
+            fault_ratio = (
+                zram.mean_faults() / ssd.mean_faults()
+                if ssd.mean_faults()
+                else float("nan")
+            )
+            rows.append(
+                [
+                    WORKLOAD_LABELS[workload],
+                    POLICY_LABELS[policy],
+                    runtime_ratio,
+                    fault_ratio,
+                ]
+            )
+            data[f"{workload}/{policy}"] = {
+                "zram_over_ssd_runtime": runtime_ratio,
+                "zram_over_ssd_faults": fault_ratio,
+            }
+    text = render_table(
+        ["workload", "policy", "ZRAM/SSD runtime", "ZRAM/SSD faults"],
+        rows,
+        title="Fig 11: ZRAM vs SSD — runtime and fault deltas (50% ratio)",
+    )
+    return FigureResult(
+        figure_id="fig11",
+        description="ZRAM vs SSD runtime/fault deltas",
+        paper_claim=(
+            "Runtimes drop dramatically with ZRAM while fault counts stay "
+            "flat or rise; PageRank is extreme (paper: ~5x faster, ~3x more "
+            "faults); YCSB fault counts barely move"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — YCSB tails with ZRAM
+# ----------------------------------------------------------------------
+
+def fig12(
+    runner: ExperimentRunner,
+    n_trials: int = 5,
+    base_seed: int = 10_000,
+) -> FigureResult:
+    """YCSB tail latencies with ZRAM swap (50%)."""
+    rows, data = _tail_rows(
+        runner, "zram", 0.5, ("clock", "mglru"), n_trials, base_seed
+    )
+    text = render_table(
+        ["workload", "policy", "op", "p90 (us)", "p99 (us)", "p99.9 (us)", "p99.99 (us)"],
+        rows,
+        title="Fig 12: YCSB tail latencies (ZRAM, 50% ratio)",
+        float_format="{:.1f}",
+    )
+    return FigureResult(
+        figure_id="fig12",
+        description="YCSB tail latencies under ZRAM swap",
+        paper_claim=(
+            "MG-LRU shows 2-5x longer p99.99 tails across all YCSB "
+            "workloads; Clock strictly outperforms MG-LRU in tail "
+            "performance in this configuration"
+        ),
+        text=text,
+        data=data,
+    )
+
+
+#: Registry used by benchmarks and EXPERIMENTS.md generation.
+FIGURES = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}

@@ -1,0 +1,56 @@
+"""Latency-tail and normalization helpers for the figure generators."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: The tail points the paper's latency figures report.
+TAIL_PERCENTILES = (90.0, 99.0, 99.9, 99.99)
+
+
+def tail_latencies(
+    latencies_ns: np.ndarray,
+    percentiles: Sequence[float] = TAIL_PERCENTILES,
+) -> Dict[float, float]:
+    """Percentile → latency(ns) map; empty input yields NaNs."""
+    out: Dict[float, float] = {}
+    for q in percentiles:
+        if not 0 < q <= 100:
+            raise ConfigError(f"percentile {q} out of (0, 100]")
+        out[q] = (
+            float(np.percentile(latencies_ns, q)) if len(latencies_ns) else float("nan")
+        )
+    return out
+
+
+def normalize_to(values: Sequence[float], baseline: float) -> list[float]:
+    """Each value divided by *baseline* (the paper's bar-chart scheme)."""
+    if baseline == 0:
+        raise ConfigError("cannot normalize to a zero baseline")
+    return [v / baseline for v in values]
+
+
+def five_number_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """min / q1 / median / q3 / max — the Fig. 7 error-bar contents."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ConfigError("empty sample")
+    return {
+        "min": float(data.min()),
+        "q1": float(np.percentile(data, 25)),
+        "median": float(np.percentile(data, 50)),
+        "q3": float(np.percentile(data, 75)),
+        "max": float(data.max()),
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geomean of positive values (cross-workload aggregates)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigError("geometric mean needs positive values")
+    return float(np.exp(np.log(arr).mean()))

@@ -1,0 +1,74 @@
+"""Plain-text rendering of figure data.
+
+The benchmarks regenerate the paper's figures as aligned text tables —
+the medium available in a terminal-only environment.  Each renderer
+takes the figure's data structure and returns a string; benchmarks both
+print it and archive it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_kv_block(title: str, pairs: Dict[str, object]) -> str:
+    """Render a labelled key: value block."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title]
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"  {key.ljust(width)} : {value}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str,
+    paper_claim: str,
+    observed: str,
+) -> str:
+    """The EXPERIMENTS.md paper-vs-measured block."""
+    return "\n".join(
+        [
+            title,
+            f"  paper    : {paper_claim}",
+            f"  measured : {observed}",
+        ]
+    )
+
+
+def bar(value: float, scale: float = 40.0, max_value: float = 2.0) -> str:
+    """A crude ASCII bar for normalized values (caps at *max_value*)."""
+    clamped = max(0.0, min(max_value, value))
+    n = int(round(clamped / max_value * scale))
+    return "#" * n

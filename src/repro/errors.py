@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still distinguishing simulation problems from configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An experiment or system configuration is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads were still blocked."""
+
+
+class OutOfMemoryError(SimulationError):
+    """Reclaim could not free a frame for an allocation.
+
+    This corresponds to the kernel OOM killer firing; the simulator treats
+    it as a hard error because the paper's experiments never OOM.
+    """
+
+
+class SwapFullError(SimulationError):
+    """No free swap slots remain on the swap device."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured or produced bad accesses."""

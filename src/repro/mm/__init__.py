@@ -1,0 +1,39 @@
+"""Memory-management substrate: the simulated kernel MM layer.
+
+Provides virtual pages with hardware-style *accessed*/*dirty* bits
+(:mod:`~repro.mm.page`), leaf page-table regions that can be scanned
+linearly (:mod:`~repro.mm.page_table`), a reverse map with a
+pointer-chase cost model (:mod:`~repro.mm.rmap`), a watermark-driven
+frame allocator (:mod:`~repro.mm.frame_allocator`), swap-slot and shadow
+entry bookkeeping (:mod:`~repro.mm.swap_cache`), and
+:class:`~repro.mm.system.MemorySystem`, which wires them together with a
+CPU, a swap device, and a replacement policy.
+"""
+
+from repro.mm.address_space import AddressSpace, VMArea
+from repro.mm.costs import CostModel
+from repro.mm.frame_allocator import FrameAllocator
+from repro.mm.intrusive_list import IntrusiveList
+from repro.mm.page import Page, PageKind
+from repro.mm.page_table import PageTable, PageTableRegion
+from repro.mm.rmap import ReverseMap
+from repro.mm.stats import MMStats
+from repro.mm.swap_cache import ShadowEntry, SwapSpace
+from repro.mm.system import MemorySystem
+
+__all__ = [
+    "AddressSpace",
+    "VMArea",
+    "CostModel",
+    "FrameAllocator",
+    "IntrusiveList",
+    "Page",
+    "PageKind",
+    "PageTable",
+    "PageTableRegion",
+    "ReverseMap",
+    "MMStats",
+    "ShadowEntry",
+    "SwapSpace",
+    "MemorySystem",
+]

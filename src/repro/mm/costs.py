@@ -1,0 +1,81 @@
+"""The simulator's cost model: every nanosecond constant in one place.
+
+Values are chosen to match the paper's measurements where it reports
+them, and plausible x86 server magnitudes elsewhere.  Provenance:
+
+- SSD 4 KiB read/write ≈ 7.5 ms — measured by the paper (§IV).
+- ZRAM 4 KiB read 20 µs / write 35 µs with LZO-RLE — measured by the
+  paper (§IV).  ZRAM work is *CPU work* on the faulting thread, so the
+  devices model it as ``Compute``, not ``Sleep``.
+- Linear PTE scan ~10 ns/PTE — sequential loads through the page table
+  with hardware prefetching (§III-B's "spatial locality in the page
+  table itself").
+- Reverse-map walk ~0.8 µs base + exponential jitter — pointer chasing
+  through anon_vma chains; the expensive operation MG-LRU's design
+  avoids (§III-B, [24]).
+- Fault-entry overhead ~1.5 µs — trap, VMA lookup, page-table fixup.
+- Zero-fill ~3 µs — clearing 4 KiB plus allocation bookkeeping.
+
+The ratios between these constants — scan cost : rmap cost : fault
+cost — drive every headline result in the paper, so they are dataclass
+fields rather than module constants: ablation benchmarks sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._units import MS, US
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Nanosecond costs for MM operations (see module docstring)."""
+
+    #: Linear page-table scan, per PTE (MG-LRU aging walker).
+    pte_scan_ns: int = 10
+    #: Spatial-locality scan of PTEs around an rmap hit (eviction walker);
+    #: same mechanism as aging, same cost.
+    pte_nearby_scan_ns: int = 10
+    #: Reverse-map walk per page: base latency...
+    rmap_walk_base_ns: int = 800
+    #: ...plus exponential jitter with this mean.
+    rmap_walk_jitter_ns: int = 500
+    #: Page-fault entry/exit overhead (trap + VMA lookup + PTE fixup).
+    fault_overhead_ns: int = 1_500
+    #: First-touch zero-fill of a 4 KiB page.
+    zero_fill_ns: int = 3 * US
+    #: Bloom-filter test or add, per region.
+    bloom_op_ns: int = 120
+    #: O(1) LRU/generation list move.
+    list_op_ns: int = 50
+    #: Per-victim reclaim bookkeeping (unmap, swap-slot assign, rmap del).
+    reclaim_page_ns: int = 1_000
+
+    def __post_init__(self) -> None:
+        for field_name in self.__dataclass_fields__:
+            if getattr(self, field_name) < 0:
+                raise ConfigError(f"cost {field_name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class SSDCosts:
+    """SSD swap latency parameters (paper §IV: ~7.5 ms per 4 KiB I/O)."""
+
+    read_ns: int = int(7.5 * MS)
+    write_ns: int = int(7.5 * MS)
+    #: Multiplicative log-normal latency jitter (sigma of ln-latency).
+    jitter_sigma: float = 0.18
+    #: Concurrent commands the device services (rest queue FIFO).
+    queue_depth: int = 8
+
+
+@dataclass(frozen=True)
+class ZRAMCosts:
+    """ZRAM swap parameters (paper §IV: 20 µs read, 35 µs write)."""
+
+    read_ns: int = 20 * US
+    write_ns: int = 35 * US
+    #: Latency jitter sigma (compression time varies with page content).
+    jitter_sigma: float = 0.25

@@ -1,0 +1,156 @@
+"""Intrusive doubly-linked lists, as the kernel uses for LRU lists.
+
+Replacement policies need O(1) insertion at either end, O(1) removal of
+an arbitrary page, and O(1) "move to head" — exactly what ``list_head``
+gives the kernel.  Python's ``deque`` cannot remove from the middle, so
+we implement the intrusive variant: any object carrying ``_ilist_prev``,
+``_ilist_next`` and ``_ilist_owner`` attributes (see
+:class:`~repro.mm.page.Page`) can live on exactly one list at a time.
+
+The list keeps an explicit length and uses a sentinel node, so all
+operations are branch-light and O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import SimulationError
+
+
+class _Sentinel:
+    """Head/tail sentinel; never exposed to callers."""
+
+    __slots__ = ("_ilist_prev", "_ilist_next", "_ilist_owner")
+
+    def __init__(self) -> None:
+        self._ilist_prev = self
+        self._ilist_next = self
+        self._ilist_owner: Optional["IntrusiveList"] = None
+
+
+class IntrusiveList:
+    """A doubly-linked list threaded through its members.
+
+    *Head* is the most-recently-inserted end for LRU semantics (pages are
+    promoted to the head; victims are taken from the tail).
+    """
+
+    __slots__ = ("_sentinel", "_length", "name")
+
+    def __init__(self, name: str = "list") -> None:
+        self.name = name
+        self._sentinel = _Sentinel()
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __contains__(self, node: Any) -> bool:
+        return getattr(node, "_ilist_owner", None) is self
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate head → tail.  Do not mutate the list while iterating."""
+        node = self._sentinel._ilist_next
+        while node is not self._sentinel:
+            nxt = node._ilist_next
+            yield node
+            node = nxt
+
+    def iter_tail(self) -> Iterator[Any]:
+        """Iterate tail → head (eviction-scan order)."""
+        node = self._sentinel._ilist_prev
+        while node is not self._sentinel:
+            prev = node._ilist_prev
+            yield node
+            node = prev
+
+    @property
+    def head(self) -> Optional[Any]:
+        """Most recently inserted member, or ``None`` if empty."""
+        node = self._sentinel._ilist_next
+        return None if node is self._sentinel else node
+
+    @property
+    def tail(self) -> Optional[Any]:
+        """Oldest member, or ``None`` if empty."""
+        node = self._sentinel._ilist_prev
+        return None if node is self._sentinel else node
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _check_free(self, node: Any) -> None:
+        owner = getattr(node, "_ilist_owner", None)
+        if owner is not None:
+            raise SimulationError(
+                f"node already on list {owner.name!r}; remove it first"
+            )
+
+    def push_head(self, node: Any) -> None:
+        """Insert *node* at the head (most-recent position)."""
+        self._check_free(node)
+        first = self._sentinel._ilist_next
+        node._ilist_prev = self._sentinel
+        node._ilist_next = first
+        first._ilist_prev = node
+        self._sentinel._ilist_next = node
+        node._ilist_owner = self
+        self._length += 1
+
+    def push_tail(self, node: Any) -> None:
+        """Insert *node* at the tail (oldest position)."""
+        self._check_free(node)
+        last = self._sentinel._ilist_prev
+        node._ilist_next = self._sentinel
+        node._ilist_prev = last
+        last._ilist_next = node
+        self._sentinel._ilist_prev = node
+        node._ilist_owner = self
+        self._length += 1
+
+    def remove(self, node: Any) -> None:
+        """Unlink *node*; O(1)."""
+        if getattr(node, "_ilist_owner", None) is not self:
+            raise SimulationError(
+                f"node is not on list {self.name!r}"
+            )
+        prev, nxt = node._ilist_prev, node._ilist_next
+        prev._ilist_next = nxt
+        nxt._ilist_prev = prev
+        node._ilist_prev = None
+        node._ilist_next = None
+        node._ilist_owner = None
+        self._length -= 1
+
+    def pop_tail(self) -> Optional[Any]:
+        """Remove and return the oldest member (``None`` if empty)."""
+        node = self.tail
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def pop_head(self) -> Optional[Any]:
+        """Remove and return the newest member (``None`` if empty)."""
+        node = self.head
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def move_to_head(self, node: Any) -> None:
+        """Rotate *node* to the head of this list; O(1)."""
+        self.remove(node)
+        self.push_head(node)
+
+
+def list_owner(node: Any) -> Optional[IntrusiveList]:
+    """The list *node* currently lives on, or ``None``."""
+    return getattr(node, "_ilist_owner", None)

@@ -1,0 +1,105 @@
+"""Virtual page metadata.
+
+One :class:`Page` object exists per virtual page a workload maps; it is
+the unit the fault handler, the reverse map, and the replacement policies
+all operate on.  The *accessed* and *dirty* flags model the hardware PTE
+bits: the access path sets them; replacement-policy scans read and clear
+*accessed*; writeback clears *dirty*.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.mm.intrusive_list import IntrusiveList
+    from repro.mm.page_table import PageTableRegion
+
+
+class PageKind(enum.Enum):
+    """Whether a page is anonymous or backed by a file descriptor.
+
+    MG-LRU treats the two differently (§III-D): file pages enter at a low
+    tier and are promoted per-tier rather than straight to the youngest
+    generation.
+    """
+
+    ANON = "anon"
+    FILE = "file"
+
+
+class Page:
+    """A virtual page and its PTE-level state.
+
+    Policy-specific fields (``gen_seq``, ``tier``, the intrusive-list
+    links) live directly on the page, as they do in the kernel's
+    ``struct folio`` flags, so list moves are O(1) with no auxiliary
+    dicts in the hot path.
+    """
+
+    __slots__ = (
+        "vpn",
+        "kind",
+        "present",
+        "frame",
+        "accessed",
+        "dirty",
+        "region",
+        "swap_slot",
+        "entropy",
+        # policy fields
+        "gen_seq",
+        "tier",
+        "refault_count",
+        "active",
+        # intrusive list links
+        "_ilist_prev",
+        "_ilist_next",
+        "_ilist_owner",
+    )
+
+    def __init__(
+        self,
+        vpn: int,
+        kind: PageKind = PageKind.ANON,
+        entropy: float = 0.45,
+    ) -> None:
+        #: Virtual page number within the owning address space.
+        self.vpn = vpn
+        self.kind = kind
+        #: True when mapped to a physical frame.
+        self.present = False
+        #: Physical frame number, or None when not present.
+        self.frame: Optional[int] = None
+        #: Hardware "accessed" bit: set on access, cleared by scans.
+        self.accessed = False
+        #: Hardware "dirty" bit: set on write, cleared by writeback.
+        self.dirty = False
+        #: Leaf page-table region containing this page's PTE.
+        self.region: Optional["PageTableRegion"] = None
+        #: Swap slot index if the page's contents live on swap.
+        self.swap_slot: Optional[int] = None
+        #: Compressibility proxy in [0, 1] (0 = all zeros, 1 = random);
+        #: used by the ZRAM size model.
+        self.entropy = entropy
+
+        # -- replacement-policy state ----------------------------------
+        #: MG-LRU: absolute generation sequence number.
+        self.gen_seq = 0
+        #: MG-LRU: usage tier within a generation (file pages).
+        self.tier = 0
+        #: Times this page refaulted after an eviction.
+        self.refault_count = 0
+        #: Clock: True while on the active list.
+        self.active = False
+
+        self._ilist_prev = None
+        self._ilist_next = None
+        self._ilist_owner: Optional["IntrusiveList"] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "present" if self.present else (
+            "swapped" if self.swap_slot is not None else "unmapped"
+        )
+        return f"<Page vpn={self.vpn} {self.kind.value} {state}>"

@@ -1,0 +1,126 @@
+"""Leaf-level page-table regions and linear scanning.
+
+MG-LRU's aging walker scans page tables *linearly* instead of walking the
+reverse map page-by-page (§III-B).  The unit of its Bloom-filter decision
+is one leaf page-table page — 512 PTEs covering 2 MiB of virtual address
+space on real x86-64.  We model that granularity with
+:data:`~repro._units.PTES_PER_REGION` consecutive virtual pages per
+:class:`PageTableRegion` (scaled to 64 so region counts stay meaningful
+at simulated footprints; see ``repro/core/calibration.py``); the
+:class:`PageTable` is the ordered list of regions the aging walker
+iterates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro._units import PTES_PER_REGION
+from repro.errors import SimulationError
+from repro.mm.page import Page
+
+
+class PageTableRegion:
+    """One leaf page-table region of ``PTES_PER_REGION`` PTEs.
+
+    ``pages`` holds the mapped :class:`Page` objects; holes (never-mapped
+    VPNs) simply do not appear, but still cost scan time, as the walker
+    cannot know a PTE is empty without reading it.
+    """
+
+    __slots__ = ("index", "pages", "_by_offset")
+
+    def __init__(self, index: int) -> None:
+        #: Region number: covers VPNs [index*512, (index+1)*512).
+        self.index = index
+        self.pages: List[Page] = []
+        self._by_offset: dict[int, Page] = {}
+
+    @property
+    def start_vpn(self) -> int:
+        """First VPN covered by this region."""
+        return self.index * PTES_PER_REGION
+
+    @property
+    def n_ptes(self) -> int:
+        """PTEs the walker must read to scan this region."""
+        return PTES_PER_REGION
+
+    def add(self, page: Page) -> None:
+        """Map *page* into this region (done once, at VMA creation)."""
+        offset = page.vpn - self.start_vpn
+        if not 0 <= offset < PTES_PER_REGION:
+            raise SimulationError(
+                f"vpn {page.vpn} outside region {self.index}"
+            )
+        if offset in self._by_offset:
+            raise SimulationError(f"vpn {page.vpn} mapped twice")
+        self._by_offset[offset] = page
+        self.pages.append(page)
+        page.region = self
+
+    def resident_pages(self) -> Iterator[Page]:
+        """Mapped pages currently present in memory, VPN order."""
+        return (p for p in self.pages if p.present)
+
+
+class PageTable:
+    """The full page table of one address space, as an ordered region list."""
+
+    def __init__(self) -> None:
+        self._regions: dict[int, PageTableRegion] = {}
+        self._pages: dict[int, Page] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def map_page(self, page: Page) -> None:
+        """Install *page* into the table (VMA setup time)."""
+        if page.vpn in self._pages:
+            raise SimulationError(f"vpn {page.vpn} already mapped")
+        index = page.vpn // PTES_PER_REGION
+        region = self._regions.get(index)
+        if region is None:
+            region = PageTableRegion(index)
+            self._regions[index] = region
+        region.add(page)
+        self._pages[page.vpn] = page
+
+    # ------------------------------------------------------------------
+    # Lookup and iteration
+    # ------------------------------------------------------------------
+
+    def lookup(self, vpn: int) -> Page:
+        """The page mapped at *vpn* (raises if the VPN was never mapped)."""
+        try:
+            return self._pages[vpn]
+        except KeyError:
+            raise SimulationError(f"access to unmapped vpn {vpn}") from None
+
+    def get(self, vpn: int) -> Optional[Page]:
+        """Like :meth:`lookup` but returns ``None`` for unmapped VPNs."""
+        return self._pages.get(vpn)
+
+    @property
+    def n_pages(self) -> int:
+        """Total mapped virtual pages."""
+        return len(self._pages)
+
+    @property
+    def n_regions(self) -> int:
+        """Number of leaf page-table regions in use."""
+        return len(self._regions)
+
+    def regions(self) -> List[PageTableRegion]:
+        """Regions in address order — the aging walker's scan order."""
+        return [self._regions[i] for i in sorted(self._regions)]
+
+    def pages(self) -> Iterator[Page]:
+        """All mapped pages, in VPN order.
+
+        Diagnostic path: region page lists keep insertion order (the
+        scan hot paths do not care), so sort per region here.
+        """
+        for region in self.regions():
+            yield from sorted(region.pages, key=lambda p: p.vpn)

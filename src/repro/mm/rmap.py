@@ -1,0 +1,77 @@
+"""The reverse map: physical frame → mapping page, with its cost model.
+
+Clock-LRU pays a reverse-map walk for *every* page whose accessed bit it
+inspects, because it iterates physical frames and must find the PTE that
+maps each one.  The kernel's rmap is a pointer-chased tree (anon_vma /
+address_space interval trees), which is why MG-LRU's linear page-table
+scans are so much cheaper per PTE (§III-B).
+
+The functional part of this class is a dict; the *cost model* is the
+point: each walk costs a base latency plus exponential jitter (chain
+length and cache misses vary), sampled from a dedicated RNG stream so
+trials are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.mm.page import Page
+
+
+class ReverseMap:
+    """frame number → :class:`Page`, plus walk-cost sampling."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        walk_base_ns: int,
+        walk_jitter_ns: int,
+    ) -> None:
+        self._map: Dict[int, Page] = {}
+        self._rng = rng
+        self.walk_base_ns = walk_base_ns
+        self.walk_jitter_ns = walk_jitter_ns
+        #: Total rmap walks performed (each is one accessed-bit check).
+        self.walk_count = 0
+
+    # ------------------------------------------------------------------
+    # Mapping maintenance (fault / reclaim paths)
+    # ------------------------------------------------------------------
+
+    def insert(self, frame: int, page: Page) -> None:
+        """Record that *frame* now backs *page*."""
+        if frame in self._map:
+            raise SimulationError(f"frame {frame} already rmapped")
+        self._map[frame] = page
+
+    def remove(self, frame: int) -> Page:
+        """Remove and return the page backed by *frame*."""
+        try:
+            return self._map.pop(frame)
+        except KeyError:
+            raise SimulationError(f"frame {frame} not rmapped") from None
+
+    def lookup(self, frame: int) -> Optional[Page]:
+        """The page backed by *frame*, or ``None``."""
+        return self._map.get(frame)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def walk_cost_ns(self) -> int:
+        """Sample the cost of one reverse-map walk.
+
+        Base cost plus exponentially distributed jitter: rmap chains have
+        geometric length and each link is a dependent cache miss.
+        """
+        self.walk_count += 1
+        jitter = self._rng.exponential(self.walk_jitter_ns)
+        return int(self.walk_base_ns + jitter)

@@ -1,0 +1,90 @@
+"""Counters the characterization layer reads after each trial.
+
+Everything the paper plots is derived from these: fault counts split by
+kind, eviction/promotion activity, scan work, and reclaim stall time.
+Counters are plain integers bumped on hot paths — no locking, no
+callbacks — so the cost of bookkeeping stays negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class MMStats:
+    """Mutable counter block owned by one :class:`MemorySystem`."""
+
+    # -- faults --------------------------------------------------------
+    #: First-touch (zero-fill) faults.
+    minor_faults: int = 0
+    #: Faults that had to read the page back from swap.
+    major_faults: int = 0
+    #: Accesses that hit a present page (no fault).
+    hits: int = 0
+
+    # -- reclaim -------------------------------------------------------
+    #: Pages evicted to swap.
+    evictions: int = 0
+    #: Evictions that required writing a dirty page out first.
+    dirty_evictions: int = 0
+    #: Pages reclaimed by the faulting thread itself (direct reclaim).
+    direct_reclaims: int = 0
+    #: Pages reclaimed by the background (kswapd) thread.
+    background_reclaims: int = 0
+    #: Simulated ns application threads spent inside direct reclaim.
+    direct_reclaim_stall_ns: int = 0
+    #: Refaults: major faults on pages with a shadow entry.
+    refaults: int = 0
+
+    # -- scanning ------------------------------------------------------
+    #: PTEs read by linear page-table scans (aging walker).
+    ptes_scanned: int = 0
+    #: PTEs read by spatial-locality scans at eviction time.
+    ptes_scanned_nearby: int = 0
+    #: Reverse-map walks performed.
+    rmap_walks: int = 0
+    #: Pages promoted by any policy mechanism.
+    promotions: int = 0
+    #: Aging walks completed (MG-LRU).
+    aging_walks: int = 0
+    #: Generation increments (MG-LRU) / active-list refills (Clock).
+    policy_ticks: int = 0
+    #: Times an aging walk could not increment max_seq (generation cap).
+    gen_cap_hits: int = 0
+
+    #: Free-form per-policy extras (bloom filter hit rates etc.).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_faults(self) -> int:
+        """Minor plus major faults — the paper's "fault count"."""
+        return self.minor_faults + self.major_faults
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dict copy for results storage."""
+        out: Dict[str, float] = {
+            name: getattr(self, name)
+            for name in (
+                "minor_faults",
+                "major_faults",
+                "hits",
+                "evictions",
+                "dirty_evictions",
+                "direct_reclaims",
+                "background_reclaims",
+                "direct_reclaim_stall_ns",
+                "refaults",
+                "ptes_scanned",
+                "ptes_scanned_nearby",
+                "rmap_walks",
+                "promotions",
+                "aging_walks",
+                "policy_ticks",
+                "gen_cap_hits",
+            )
+        }
+        out["total_faults"] = self.total_faults
+        out.update(self.extra)
+        return out

@@ -1,0 +1,338 @@
+"""The memory system: faults, reclaim contexts, and eviction mechanics.
+
+:class:`MemorySystem` wires together one CPU, a frame allocator, an
+address space, the reverse map, swap-slot bookkeeping, a swap device,
+and a replacement policy, and provides the two generators application
+threads drive:
+
+- :meth:`access_run` — the batched hot path: touch a sequence of VPNs,
+  accumulating compute and faulting as needed;
+- :meth:`access` — a single access (used for request-level latency
+  measurements, e.g. YCSB).
+
+It also owns the kswapd background-reclaim daemon and the eviction
+mechanics (:meth:`evict_page`) that policies call from their reclaim
+generators.
+
+Swap-cache semantics: a page swapped in *keeps* its slot, so a clean
+page can later be dropped without device I/O; dirtying a resident page
+invalidates the copy (the slot is released lazily at the next
+eviction).  This asymmetry — reads can be free, writes never are — is
+what the paper's read/write tail-latency splits come from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro._units import US
+from repro.errors import ConfigError, OutOfMemoryError
+from repro.mm.address_space import AddressSpace
+from repro.mm.costs import CostModel
+from repro.mm.frame_allocator import FrameAllocator
+from repro.mm.page import Page
+from repro.mm.rmap import ReverseMap
+from repro.mm.stats import MMStats
+from repro.mm.swap_cache import ShadowEntry, SwapSpace
+from repro.policies.base import ReplacementPolicy
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, OneShotEvent, Sleep, WaitEvent, Waker, WaitWaker
+from repro.sim.rng import RngTree
+from repro.swapdev.base import SwapDevice
+
+#: Pages per reclaim batch (kernel SWAP_CLUSTER_MAX).
+RECLAIM_BATCH = 32
+#: Direct-reclaim retries before declaring OOM.
+MAX_DIRECT_RECLAIM_RETRIES = 64
+
+
+class MemorySystem:
+    """One simulated machine: CPU + memory + swap + policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        rng: RngTree,
+        policy: ReplacementPolicy,
+        swap_device: SwapDevice,
+        capacity_frames: int,
+        n_cpus: int = 12,
+        costs: CostModel = CostModel(),
+        swap_slots: Optional[int] = None,
+        compute_quantum_ns: int = 64 * US,
+    ) -> None:
+        if capacity_frames < 16:
+            raise ConfigError("need at least 16 frames of capacity")
+        self.engine = engine
+        self.rng = rng
+        self.costs = costs
+        self.cpu = CPU(engine, n_cpus)
+        self.frames = FrameAllocator(capacity_frames)
+        self.address_space = AddressSpace(aslr_rng=rng.stream("aslr"))
+        self.rmap = ReverseMap(
+            rng.stream("rmap"),
+            walk_base_ns=costs.rmap_walk_base_ns,
+            walk_jitter_ns=costs.rmap_walk_jitter_ns,
+        )
+        self.swap = SwapSpace(
+            n_slots=swap_slots if swap_slots is not None else capacity_frames * 8
+        )
+        self.swap_device = swap_device
+        self.policy = policy
+        self.stats = MMStats()
+        self.compute_quantum_ns = compute_quantum_ns
+
+        self._kswapd_waker = Waker("kswapd")
+        self._inflight_faults: Dict[Page, OneShotEvent] = {}
+        self._started = False
+
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn kswapd and policy daemons (call once, before running)."""
+        if self._started:
+            return
+        self._started = True
+        kswapd = self.engine.spawn(self._kswapd_loop(), name="kswapd", daemon=True)
+        kswapd.cpu = self.cpu
+        self.policy.spawn_daemons()
+
+    def spawn_daemon(self, generator: Iterator[Any], name: str):
+        """Spawn a policy daemon thread bound to this system's CPU."""
+        thread = self.engine.spawn(generator, name=name, daemon=True)
+        thread.cpu = self.cpu
+        return thread
+
+    def spawn_app_thread(self, generator: Iterator[Any], name: str):
+        """Spawn an application (foreground) thread on this CPU."""
+        thread = self.engine.spawn(generator, name=name)
+        thread.cpu = self.cpu
+        return thread
+
+    # ------------------------------------------------------------------
+    # Hot path: accesses
+    # ------------------------------------------------------------------
+
+    def access_run(
+        self,
+        vpns: Sequence[int],
+        write: bool = False,
+        compute_ns_per_access: int = 0,
+    ) -> Iterator[Any]:
+        """Touch each VPN in order, interleaving compute.
+
+        Present pages cost only accumulated compute (yielded in quanta so
+        daemon threads can interleave); a miss flushes pending compute
+        and runs the fault path.  This is the simulator's hot loop: keep
+        it allocation-free.
+        """
+        lookup = self.address_space.page_table.lookup
+        quantum = self.compute_quantum_ns
+        stats = self.stats
+        pending = 0
+        hits = 0
+        if isinstance(vpns, np.ndarray):
+            # Plain ints hash ~2x faster than numpy scalars in the dict
+            # lookups below; this loop is the simulator's hottest path.
+            vpns = vpns.tolist()
+        for vpn in vpns:
+            page = lookup(vpn)
+            pending += compute_ns_per_access
+            if page.present:
+                hits += 1
+                page.accessed = True
+                if write:
+                    page.dirty = True
+                if pending >= quantum:
+                    yield Compute(pending)
+                    pending = 0
+                continue
+            if pending:
+                yield Compute(pending)
+                pending = 0
+            yield from self.handle_fault(page, write)
+        stats.hits += hits
+        if pending:
+            yield Compute(pending)
+
+    def access(self, vpn: int, write: bool = False) -> Iterator[Any]:
+        """Touch a single VPN (request-latency measurement path)."""
+        page = self.address_space.page_table.lookup(vpn)
+        if page.present:
+            self.stats.hits += 1
+            page.accessed = True
+            if write:
+                page.dirty = True
+            return
+        yield from self.handle_fault(page, write)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    def handle_fault(self, page: Page, write: bool) -> Iterator[Any]:
+        """Generator: make *page* resident, blocking as needed."""
+        if page.present:
+            # The caller observed a miss, but another thread completed
+            # the fault before we got here (the kernel's re-check of the
+            # PTE under the page-table lock).
+            page.accessed = True
+            if write:
+                page.dirty = True
+            return
+        inflight = self._inflight_faults.get(page)
+        if inflight is not None:
+            # Another thread is already servicing this fault; wait for it
+            # and retry (it may have been evicted again meanwhile).
+            yield WaitEvent(inflight)
+            if not page.present:
+                yield from self.handle_fault(page, write)
+                return
+            page.accessed = True
+            if write:
+                page.dirty = True
+            return
+
+        done = OneShotEvent(f"fault-vpn{page.vpn}")
+        self._inflight_faults[page] = done
+        try:
+            yield Compute(self.costs.fault_overhead_ns)
+            frame = yield from self._alloc_frame()
+            if page.swap_slot is not None:
+                self.stats.major_faults += 1
+                yield from self.swap_device.read(page)
+                shadow = self.swap.refault(page)
+                if shadow is not None:
+                    self.stats.refaults += 1
+                    page.refault_count += 1
+            else:
+                self.stats.minor_faults += 1
+                yield Compute(self.costs.zero_fill_ns)
+                shadow = None
+            page.present = True
+            page.frame = frame
+            page.accessed = True
+            if write:
+                page.dirty = True
+            self.rmap.insert(frame, page)
+            self.policy.on_page_inserted(page, shadow)
+        finally:
+            del self._inflight_faults[page]
+            done.fire()
+        if self.frames.below_low():
+            self._kswapd_waker.wake()
+
+    def _alloc_frame(self) -> Iterator[Any]:
+        """Generator: obtain a free frame, entering direct reclaim when
+        the allocator is at or below its min watermark."""
+        retries = 0
+        while True:
+            if not self.frames.below_min():
+                frame = self.frames.alloc()
+                if frame is not None:
+                    return frame
+            # Direct reclaim: the faulting thread pays for reclaim itself.
+            start = self.engine.now
+            reclaimed = yield from self.policy.reclaim(RECLAIM_BATCH, direct=True)
+            self.stats.direct_reclaims += reclaimed
+            self.stats.direct_reclaim_stall_ns += self.engine.now - start
+            self._kswapd_waker.wake()
+            if reclaimed == 0:
+                retries += 1
+                if retries >= MAX_DIRECT_RECLAIM_RETRIES:
+                    raise OutOfMemoryError(
+                        f"direct reclaim made no progress after "
+                        f"{retries} retries ({self.frames.n_free} free)"
+                    )
+                # Give kswapd / in-flight writeback a chance.
+                yield Sleep(100 * US)
+            else:
+                retries = 0
+            frame = self.frames.alloc()
+            if frame is not None:
+                return frame
+
+    # ------------------------------------------------------------------
+    # Eviction mechanics (called from policy reclaim generators)
+    # ------------------------------------------------------------------
+
+    def evict_page(self, page: Page) -> Iterator[Any]:
+        """Generator: push *page* out to swap.  Returns True on success,
+        False if the page was re-accessed during writeback (eviction
+        aborted; the caller should reinsert it).
+
+        The caller must have already detached the page from its policy
+        lists; on abort the page is still resident and unlisted.
+        """
+        assert page.present, "evicting a non-resident page"
+        yield Compute(self.costs.reclaim_page_ns)
+        needs_write = page.dirty or page.swap_slot is None
+        if needs_write:
+            if page.dirty and page.swap_slot is not None:
+                # Resident page was re-dirtied: the old copy is stale.
+                self.swap.release(page)
+                self.swap_device.discard(page)
+            was_dirty = page.dirty
+            # Clear both PTE bits before writeback starts (as the kernel
+            # does) so a racing access during the device write is caught
+            # by the re-check below.
+            page.accessed = False
+            page.dirty = False
+            yield from self.swap_device.write(page)
+            if page.accessed or page.dirty:
+                # Touched during writeback: abort the eviction and drop
+                # the now-possibly-stale device copy so state stays
+                # canonical.
+                if page.swap_slot is None:
+                    self.swap_device.discard(page)
+                page.accessed = True
+                page.dirty = page.dirty or was_dirty
+                self.stats.extra["aborted_evictions"] = (
+                    self.stats.extra.get("aborted_evictions", 0) + 1
+                )
+                return False
+            if was_dirty:
+                self.stats.dirty_evictions += 1
+            if page.swap_slot is None:
+                self.swap.store(page, self.policy.make_shadow(page))
+            else:
+                self.swap.set_shadow(page, self.policy.make_shadow(page))
+        else:
+            # Clean page with a valid swap copy: free drop, no I/O.
+            self.swap.set_shadow(page, self.policy.make_shadow(page))
+        page.present = False
+        frame = page.frame
+        page.frame = None
+        self.rmap.remove(frame)
+        self.frames.free(frame)
+        self.stats.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Background reclaim
+    # ------------------------------------------------------------------
+
+    def wake_kswapd(self) -> None:
+        """Kick the background reclaim daemon."""
+        self._kswapd_waker.wake()
+
+    def _kswapd_loop(self) -> Iterator[Any]:
+        while True:
+            yield WaitWaker(self._kswapd_waker)
+            while self.frames.below_high():
+                deficit = self.frames.high_watermark - self.frames.n_free
+                batch = max(1, min(RECLAIM_BATCH, deficit))
+                reclaimed = yield from self.policy.reclaim(batch, direct=False)
+                self.stats.background_reclaims += reclaimed
+                if reclaimed == 0:
+                    # Nothing reclaimable right now; back off briefly so
+                    # we do not spin the simulated CPU.
+                    yield Sleep(200 * US)
+                    break

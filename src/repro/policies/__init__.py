@@ -1,0 +1,75 @@
+"""Page replacement policies.
+
+The two policies the paper characterizes — :class:`~repro.policies.
+clock_lru.ClockLRUPolicy` and :class:`~repro.policies.mglru.MGLRUPolicy`
+(with its *Gen-14*, *Scan-All*, *Scan-None* and *Scan-Rand* parameter
+presets) — plus three extension baselines the paper's discussion points
+at: FIFO (§V-B's key-value-cache literature), random eviction, and
+Belady's OPT as an offline lower bound.
+
+Use :func:`make_policy` to construct a policy by its registry name.
+"""
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.policies.base import ReplacementPolicy
+from repro.policies.clock_lru import ClockLRUPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.mglru import MGLRUParams, MGLRUPolicy
+from repro.policies.random_policy import RandomPolicy
+
+#: Registry of policy factories keyed by the names the paper uses.
+POLICY_FACTORIES: Dict[str, Callable[[], ReplacementPolicy]] = {
+    "clock": ClockLRUPolicy,
+    "mglru": lambda: MGLRUPolicy(MGLRUParams.default()),
+    "mglru-gen14": lambda: MGLRUPolicy(MGLRUParams.gen14()),
+    "mglru-scan-all": lambda: MGLRUPolicy(MGLRUParams.scan_all()),
+    "mglru-scan-none": lambda: MGLRUPolicy(MGLRUParams.scan_none()),
+    "mglru-scan-rand": lambda: MGLRUPolicy(MGLRUParams.scan_rand()),
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+#: The six policies every paper figure sweeps (order used in plots).
+PAPER_POLICIES = (
+    "clock",
+    "mglru",
+    "mglru-gen14",
+    "mglru-scan-all",
+    "mglru-scan-none",
+    "mglru-scan-rand",
+)
+
+#: The five MG-LRU variants of Figures 4-7.
+MGLRU_VARIANTS = (
+    "mglru",
+    "mglru-gen14",
+    "mglru-scan-all",
+    "mglru-scan-none",
+    "mglru-scan-rand",
+)
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Construct a fresh policy instance by registry name."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_FACTORIES))
+        raise ConfigError(f"unknown policy {name!r}; known: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "ReplacementPolicy",
+    "ClockLRUPolicy",
+    "MGLRUPolicy",
+    "MGLRUParams",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "POLICY_FACTORIES",
+    "PAPER_POLICIES",
+    "MGLRU_VARIANTS",
+    "make_policy",
+]

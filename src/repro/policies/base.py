@@ -1,0 +1,93 @@
+"""The replacement-policy interface.
+
+A policy owns the ordering data structures (LRU lists, generations) and
+the scan logic; the :class:`~repro.mm.system.MemorySystem` owns frames,
+the fault path, and eviction mechanics.  The contract:
+
+- the system calls :meth:`bind` once, then :meth:`spawn_daemons`;
+- on every fault that makes a page resident, the system calls
+  :meth:`on_page_inserted` (with the shadow entry if it was a refault);
+- reclaim contexts (kswapd or direct) drive :meth:`reclaim`, a
+  *generator* so the policy can charge scan costs (``yield Compute``)
+  and block on writeback (``yield from system.evict_page(page)``);
+- at eviction the system asks :meth:`make_shadow` for the snapshot to
+  store with the swap slot.
+
+Policies must tolerate concurrent reclaim generators (kswapd plus any
+number of direct reclaimers): detach a candidate from shared lists
+*before* yielding.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Optional, TYPE_CHECKING
+
+from repro.mm.swap_cache import ShadowEntry
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.mm.page import Page
+    from repro.mm.system import MemorySystem
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for all replacement policies."""
+
+    #: Registry name; also used in reports.
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.system: Optional["MemorySystem"] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self, system: "MemorySystem") -> None:
+        """Attach the policy to its memory system (called once)."""
+        self.system = system
+
+    def spawn_daemons(self) -> None:
+        """Spawn policy threads (e.g. the MG-LRU aging walker).
+
+        Called by the system after binding; default: no daemons.
+        """
+
+    # ------------------------------------------------------------------
+    # Hot-path notifications
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_page_inserted(
+        self, page: "Page", shadow: Optional[ShadowEntry]
+    ) -> None:
+        """A page became resident (first touch or swap-in refault)."""
+
+    @abc.abstractmethod
+    def make_shadow(self, page: "Page") -> ShadowEntry:
+        """Snapshot policy state for *page* at eviction time."""
+
+    # ------------------------------------------------------------------
+    # Reclaim
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def reclaim(self, nr_pages: int, direct: bool) -> Iterator[Any]:
+        """Generator: try to evict up to ``nr_pages``; returns the count
+        actually reclaimed.
+
+        ``direct`` distinguishes allocation-stall reclaim from kswapd;
+        policies may use it for stats or budgets.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resident_count(self) -> int:
+        """Pages currently tracked as resident by the policy."""
+        return 0
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name

@@ -1,0 +1,149 @@
+"""Clock-LRU: the kernel's classic two-list second-chance policy (§II-B).
+
+Two intrusive lists approximate LRU:
+
+- the **active list** should hold the working set;
+- the **inactive list** holds eviction candidates.
+
+Pages enter on the inactive list.  At reclaim time the tail of the
+inactive list is scanned: each check is a *reverse-map walk* (the
+physical-to-virtual translation the paper calls out as expensive,
+§III-B); an accessed page gets its second chance — promotion to the
+active head — and a cold page is evicted.  When the inactive list runs
+low, the active tail is scanned (again via rmap): accessed pages rotate
+to the active head, idle ones are demoted.
+
+Refault activation follows the kernel's workingset heuristic: a page
+that refaults within "resident set" distance of its eviction is put
+straight on the active list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.mm.intrusive_list import IntrusiveList
+from repro.mm.page import Page
+from repro.mm.swap_cache import ShadowEntry
+from repro.policies.base import ReplacementPolicy
+from repro.sim.events import Compute
+
+#: Scan at most this many pages per reclaim invocation before giving up;
+#: prevents livelock when every page has its accessed bit set.
+SCAN_BUDGET_PER_RECLAIM = 256
+#: Active-list pages examined per refill round.
+REFILL_BATCH = 32
+
+
+class ClockLRUPolicy(ReplacementPolicy):
+    """Second-chance Clock over active/inactive lists."""
+
+    name = "clock"
+
+    def __init__(self, inactive_ratio: float = 1 / 3) -> None:
+        """``inactive_ratio``: the fraction of resident pages the policy
+        tries to keep on the inactive list (kernel default ballpark)."""
+        super().__init__()
+        self.inactive_ratio = inactive_ratio
+        self.active = IntrusiveList("active")
+        self.inactive = IntrusiveList("inactive")
+        #: Monotone eviction counter: the policy clock stored in shadows.
+        self._evict_clock = 0
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+
+    def on_page_inserted(self, page: Page, shadow: Optional[ShadowEntry]) -> None:
+        if shadow is not None and self._refault_within_workingset(shadow):
+            page.active = True
+            self.active.push_head(page)
+        else:
+            page.active = False
+            self.inactive.push_head(page)
+
+    def _refault_within_workingset(self, shadow: ShadowEntry) -> bool:
+        """Kernel workingset test: refault distance vs. resident set."""
+        distance = self._evict_clock - shadow.policy_clock
+        return distance <= len(self.active) + len(self.inactive)
+
+    def make_shadow(self, page: Page) -> ShadowEntry:
+        self._evict_clock += 1
+        assert self.system is not None
+        return ShadowEntry(
+            policy_clock=self._evict_clock,
+            tier=0,
+            evict_time_ns=self.system.engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Reclaim
+    # ------------------------------------------------------------------
+
+    def reclaim(self, nr_pages: int, direct: bool) -> Iterator[Any]:
+        assert self.system is not None
+        system = self.system
+        reclaimed = 0
+        scanned = 0
+        while reclaimed < nr_pages and scanned < SCAN_BUDGET_PER_RECLAIM:
+            if self._inactive_is_low():
+                yield from self._refill_inactive()
+            page = self.inactive.pop_tail()
+            if page is None:
+                yield from self._refill_inactive()
+                page = self.inactive.pop_tail()
+                if page is None:
+                    break
+            scanned += 1
+            # Check the accessed bit: one rmap walk per page, every time.
+            yield Compute(system.rmap.walk_cost_ns())
+            if page.accessed:
+                # Second chance: promote to the active list.
+                page.accessed = False
+                page.active = True
+                self.active.push_head(page)
+                system.stats.promotions += 1
+                continue
+            ok = yield from system.evict_page(page)
+            if ok:
+                reclaimed += 1
+            else:
+                # Re-accessed during writeback; treat like a second chance.
+                page.active = True
+                self.active.push_head(page)
+        return reclaimed
+
+    def _inactive_is_low(self) -> bool:
+        total = len(self.active) + len(self.inactive)
+        return len(self.inactive) < total * self.inactive_ratio
+
+    def _refill_inactive(self) -> Iterator[Any]:
+        """Scan the active tail, rotating hot pages and demoting idle ones."""
+        assert self.system is not None
+        system = self.system
+        system.stats.policy_ticks += 1
+        for _ in range(REFILL_BATCH):
+            if not self._inactive_is_low() and len(self.inactive) > 0:
+                break
+            page = self.active.pop_tail()
+            if page is None:
+                break
+            yield Compute(system.rmap.walk_cost_ns())
+            if page.accessed:
+                page.accessed = False
+                self.active.push_head(page)  # rotate the clock hand
+            else:
+                page.active = False
+                self.inactive.push_head(page)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resident_count(self) -> int:
+        return len(self.active) + len(self.inactive)
+
+    def describe(self) -> str:
+        return (
+            f"clock(active={len(self.active)}, inactive={len(self.inactive)})"
+        )

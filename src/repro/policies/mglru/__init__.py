@@ -1,0 +1,36 @@
+"""Multi-Generational LRU (MG-LRU), as characterized by the paper.
+
+The pieces map one-to-one onto §III of the paper:
+
+- :mod:`~repro.policies.mglru.generations` — generation lists (§III-A);
+- :mod:`~repro.policies.mglru.bloom` — the Bloom filter gating
+  page-table scans (§III-B);
+- :mod:`~repro.policies.mglru.pid` /
+  :mod:`~repro.policies.mglru.tiers` — refault tiers balanced by a PID
+  controller (§III-D);
+- :mod:`~repro.policies.mglru.policy` — the aging and eviction walkers
+  (§III-B, §III-C) tied together behind the
+  :class:`~repro.policies.base.ReplacementPolicy` interface.
+
+The five configurations the paper evaluates are presets on
+:class:`~repro.policies.mglru.config.MGLRUParams`: default (4
+generations, Bloom-filtered scans), *Gen-14* (2^14 generations),
+*Scan-All*, *Scan-None* and *Scan-Rand*.
+"""
+
+from repro.policies.mglru.bloom import BloomFilter
+from repro.policies.mglru.config import MGLRUParams, ScanMode
+from repro.policies.mglru.generations import GenerationLists
+from repro.policies.mglru.pid import PIDController
+from repro.policies.mglru.policy import MGLRUPolicy
+from repro.policies.mglru.tiers import TierTracker
+
+__all__ = [
+    "MGLRUPolicy",
+    "MGLRUParams",
+    "ScanMode",
+    "GenerationLists",
+    "BloomFilter",
+    "PIDController",
+    "TierTracker",
+]

@@ -1,0 +1,85 @@
+"""The Bloom filter that gates MG-LRU's page-table scans (§III-B).
+
+Linux keeps two small Bloom filters per memcg lruvec and flips between
+them across aging walks: the eviction walker and the previous aging walk
+*set* bits for page-table regions that showed young PTEs; the next aging
+walk *tests* regions and skips those the filter says are cold.  False
+positives cost a wasted region scan; false negatives are impossible —
+exactly the asymmetry wanted here, since missing a hot region would
+strand hot pages in old generations.
+
+This implementation uses double hashing (Kirsch–Mitzenmacher) over a
+fixed byte array (one flag per slot — 8x the memory of a bitset, but
+scalar test/add sit on the aging walker's hot path and byte indexing is
+the fastest option in pure Python), with a cheap 64-bit mix so region
+indices spread well.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: avalanche a 64-bit integer."""
+    x &= 0xFFFF_FFFF_FFFF_FFFF
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFF_FFFF_FFFF_FFFF
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & 0xFFFF_FFFF_FFFF_FFFF
+    return x ^ (x >> 31)
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over small non-negative integers."""
+
+    def __init__(self, n_bits: int = 4096, n_hashes: int = 2) -> None:
+        if n_bits < 8:
+            raise ConfigError("bloom filter needs at least 8 bits")
+        if n_hashes < 1:
+            raise ConfigError("bloom filter needs at least one hash")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self._bits = bytearray(n_bits)
+        #: Items added since the last clear (upper bound; duplicates count).
+        self.n_added = 0
+
+    def _positions(self, key: int) -> list[int]:
+        h1 = _mix64(key)
+        h2 = _mix64(key ^ 0x9E3779B97F4A7C15) | 1  # odd => full cycle
+        return [
+            ((h1 + i * h2) & 0xFFFF_FFFF_FFFF_FFFF) % self.n_bits
+            for i in range(self.n_hashes)
+        ]
+
+    def add(self, key: int) -> None:
+        """Mark *key* as (probably) present."""
+        bits = self._bits
+        for pos in self._positions(key):
+            bits[pos] = 1
+        self.n_added += 1
+
+    def test(self, key: int) -> bool:
+        """True if *key* may be present (never false-negative)."""
+        bits = self._bits
+        for pos in self._positions(key):
+            if not bits[pos]:
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self._bits = bytearray(self.n_bits)
+        self.n_added = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing has been added since the last clear."""
+        return self.n_added == 0
+
+    def fill_fraction(self) -> float:
+        """Fraction of bits set (saturation diagnostic)."""
+        return sum(self._bits) / self.n_bits
+
+    def false_positive_rate(self) -> float:
+        """Theoretical FP rate at the current fill level."""
+        fill = self.fill_fraction()
+        return fill**self.n_hashes

@@ -1,0 +1,119 @@
+"""MG-LRU parameters and the paper's five named configurations."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro._units import MS
+from repro.errors import ConfigError
+
+
+class ScanMode(enum.Enum):
+    """How the aging walker decides which page-table regions to scan.
+
+    ``BLOOM`` is stock MG-LRU; the other three are the paper's §V-B
+    bloom-filter-removal experiments.
+    """
+
+    #: Scan regions the Bloom filter marked young in the previous walk
+    #: (plus everything on the cold-start walk) — stock MG-LRU.
+    BLOOM = "bloom"
+    #: Scan every region every walk (*Scan-All*).
+    ALL = "all"
+    #: Never scan during aging; rely on the eviction walker (*Scan-None*).
+    NONE = "none"
+    #: Scan each region with fixed probability (*Scan-Rand*).
+    RAND = "rand"
+
+
+@dataclass(frozen=True)
+class MGLRUParams:
+    """Tunable knobs of the MG-LRU implementation.
+
+    Defaults mirror Linux 6.8: four generations (``MAX_NR_GENS``), Bloom
+    filter sized for ~2% false positives at typical region counts, and a
+    region enters the filter when it shows at least one young PTE per
+    cache line of PTEs (512 PTEs / 8 per line = 64).
+    """
+
+    #: Maximum simultaneous generations (Linux ``MAX_NR_GENS`` = 4).
+    max_nr_gens: int = 4
+    #: Aging-walk region selection.
+    scan_mode: ScanMode = ScanMode.BLOOM
+    #: Region scan probability for :attr:`ScanMode.RAND`.
+    scan_rand_prob: float = 0.5
+    #: How often the aging daemon wakes to consider a walk.
+    aging_interval_ns: int = 1 * MS
+    #: Young PTEs a region needs for Bloom insertion: one per cache line
+    #: of PTEs (8 PTEs per 64-byte line; regions are 64 PTEs => 8).
+    young_region_threshold: int = 8
+    #: Bloom filter geometry.
+    bloom_bits: int = 4096
+    bloom_hashes: int = 2
+    #: Number of usage tiers for file-backed pages (Linux ``MAX_NR_TIERS``).
+    n_tiers: int = 4
+    #: PID controller gains for tier protection (§III-D).
+    pid_kp: float = 0.5
+    pid_ki: float = 0.1
+    pid_kd: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_nr_gens < 2:
+            raise ConfigError("MG-LRU needs at least 2 generations")
+        if not 0.0 <= self.scan_rand_prob <= 1.0:
+            raise ConfigError("scan_rand_prob must be in [0, 1]")
+        if self.bloom_bits < 8 or self.bloom_hashes < 1:
+            raise ConfigError("bloom filter geometry is degenerate")
+        if self.n_tiers < 1:
+            raise ConfigError("need at least one tier")
+        if self.aging_interval_ns <= 0:
+            raise ConfigError("aging interval must be positive")
+
+    # ------------------------------------------------------------------
+    # The paper's named configurations (§V-B)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "MGLRUParams":
+        """Stock MG-LRU: 4 generations, Bloom-filtered aging scans."""
+        return cls()
+
+    @classmethod
+    def gen14(cls) -> "MGLRUParams":
+        """*Gen-14*: 2^14 generations, so every aging walk can create a
+        fresh youngest generation (§V-B)."""
+        return cls(max_nr_gens=2**14)
+
+    @classmethod
+    def scan_all(cls) -> "MGLRUParams":
+        """*Scan-All*: aging scans the entire page table every walk."""
+        return cls(scan_mode=ScanMode.ALL)
+
+    @classmethod
+    def scan_none(cls) -> "MGLRUParams":
+        """*Scan-None*: aging never scans; only the eviction walker reads
+        accessed bits (via rmap hits plus spatial PTE scans)."""
+        return cls(scan_mode=ScanMode.NONE)
+
+    @classmethod
+    def scan_rand(cls, prob: float = 0.5) -> "MGLRUParams":
+        """*Scan-Rand*: each region is scanned with probability *prob*."""
+        return cls(scan_mode=ScanMode.RAND, scan_rand_prob=prob)
+
+    def with_(self, **kwargs) -> "MGLRUParams":
+        """A copy with the given fields replaced (ablation sweeps)."""
+        return replace(self, **kwargs)
+
+    @property
+    def variant_name(self) -> str:
+        """The paper's name for this configuration."""
+        if self.scan_mode is ScanMode.ALL:
+            return "Scan-All"
+        if self.scan_mode is ScanMode.NONE:
+            return "Scan-None"
+        if self.scan_mode is ScanMode.RAND:
+            return "Scan-Rand"
+        if self.max_nr_gens >= 2**14:
+            return "Gen-14"
+        return "MG-LRU"

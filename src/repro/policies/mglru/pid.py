@@ -1,0 +1,82 @@
+"""A proportional-integral-derivative controller.
+
+MG-LRU balances eviction pressure between refault tiers with "a
+proportional-integral-derivative (PID) controller" (§III-D, [4], [14]).
+This module provides a genuine, self-contained PID implementation —
+usable and tested on its own — which :mod:`~repro.policies.mglru.tiers`
+feeds with the refault-rate imbalance between tiers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class PIDController:
+    """Discrete-time PID with clamped integral (anti-windup)."""
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float,
+        kd: float,
+        setpoint: float = 0.0,
+        output_min: float = -1.0,
+        output_max: float = 1.0,
+        integral_limit: float = 10.0,
+        integral_leak: float = 0.99,
+    ) -> None:
+        """``integral_leak`` < 1 makes the integrator forget old error
+        geometrically, so a controller that saturated long ago can
+        recover once the error returns to zero (leaky integrator)."""
+        if output_min >= output_max:
+            raise ConfigError("output_min must be < output_max")
+        if integral_limit <= 0:
+            raise ConfigError("integral_limit must be positive")
+        if not 0.0 < integral_leak <= 1.0:
+            raise ConfigError("integral_leak must be in (0, 1]")
+        self.integral_leak = integral_leak
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.setpoint = setpoint
+        self.output_min = output_min
+        self.output_max = output_max
+        self.integral_limit = integral_limit
+        self._integral = 0.0
+        self._last_error: float | None = None
+        self._last_output = 0.0
+
+    @property
+    def last_output(self) -> float:
+        """Most recent controller output."""
+        return self._last_output
+
+    def reset(self) -> None:
+        """Clear accumulated state."""
+        self._integral = 0.0
+        self._last_error = None
+        self._last_output = 0.0
+
+    def update(self, measurement: float, dt: float = 1.0) -> float:
+        """Advance the controller one step and return its output.
+
+        ``measurement`` is the process variable; error is
+        ``setpoint - measurement``.  ``dt`` is the step length in
+        whatever unit the gains were tuned for.
+        """
+        if dt <= 0:
+            raise ConfigError("dt must be positive")
+        error = self.setpoint - measurement
+        self._integral = self._integral * self.integral_leak + error * dt
+        self._integral = max(
+            -self.integral_limit, min(self.integral_limit, self._integral)
+        )
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        output = max(self.output_min, min(self.output_max, output))
+        self._last_output = output
+        return output

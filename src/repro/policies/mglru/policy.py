@@ -1,0 +1,355 @@
+"""The MG-LRU policy: aging and eviction walkers over generations.
+
+Mechanism summary (paper §III):
+
+**Aging** (§III-B) runs in its own daemon thread and scans leaf
+page-table regions *linearly* — cheap per PTE, no reverse-map walks.
+Which regions get scanned depends on the configuration:
+
+- stock MG-LRU consults the Bloom filter populated by the previous walk
+  and by the eviction walker (regions that recently showed young PTEs),
+  scanning everything only on the cold-start walk;
+- *Scan-All* / *Scan-None* / *Scan-Rand* replace that decision per §V-B.
+
+Accessed pages found by the walk are promoted to the youngest
+generation and their accessed bits cleared.  A region with at least
+``young_region_threshold`` young PTEs (one per cache line by default)
+is added to the *next* filter.  After the walk, ``max_seq`` is
+incremented — unless the generation cap is hit, the saturation §V-B
+shows degrades recency resolution (the *Gen-14* preset removes it).
+
+**Eviction** (§III-C) runs in reclaim contexts (kswapd/direct).  It pops
+pages from the tail of the oldest generation; each candidate costs a
+reverse-map walk.  An accessed candidate is promoted (anon → youngest;
+file → one tier up) and — unlike Clock — the walker then scans the
+*surrounding PTEs* of the candidate's page-table region, promoting its
+accessed neighbours and feeding the region into the Bloom filter: the
+aging↔eviction feedback loop.  Cold candidates are evicted, subject to
+tier protection decided by the PID controller (§III-D).
+
+The youngest two generations are protected from eviction (kernel
+``MIN_NR_GENS``); when nothing older is left, the walker requests an
+aging run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.mm.page import Page, PageKind
+from repro.mm.swap_cache import ShadowEntry
+from repro.policies.base import ReplacementPolicy
+from repro.policies.mglru.bloom import BloomFilter
+from repro.policies.mglru.config import MGLRUParams, ScanMode
+from repro.policies.mglru.generations import GenerationLists
+from repro.policies.mglru.tiers import TierTracker, tier_of
+from repro.sim.events import Compute, Sleep
+
+#: Candidates examined per reclaim invocation before giving up
+#: (livelock guard when every candidate is hot).
+SCAN_BUDGET_PER_RECLAIM = 256
+#: Generations the eviction walker must leave untouched (MIN_NR_GENS).
+MIN_NR_GENS = 2
+
+
+class MGLRUPolicy(ReplacementPolicy):
+    """Multi-Generational LRU."""
+
+    name = "mglru"
+
+    def __init__(self, params: Optional[MGLRUParams] = None) -> None:
+        super().__init__()
+        self.params = params or MGLRUParams.default()
+        self.gens = GenerationLists(self.params.max_nr_gens)
+        self.tiers = TierTracker(
+            self.params.n_tiers,
+            kp=self.params.pid_kp,
+            ki=self.params.pid_ki,
+            kd=self.params.pid_kd,
+        )
+        #: Filter consulted by the current walk (written by the previous
+        #: walk and by the eviction walker).
+        self._bloom_cur = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        #: Filter being populated for the next walk.
+        self._bloom_next = BloomFilter(self.params.bloom_bits, self.params.bloom_hashes)
+        self._first_walk_done = False
+        self._aging_requested = False
+        self._aging_in_progress = False
+        self._evictions_at_last_walk = 0
+        self._scan_rng = None
+        self.name = {
+            ScanMode.BLOOM: "mglru",
+            ScanMode.ALL: "mglru-scan-all",
+            ScanMode.NONE: "mglru-scan-none",
+            ScanMode.RAND: "mglru-scan-rand",
+        }[self.params.scan_mode]
+        if self.params.scan_mode is ScanMode.BLOOM and self.params.max_nr_gens >= 2**14:
+            self.name = "mglru-gen14"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def bind(self, system) -> None:
+        super().bind(system)
+        self._scan_rng = system.rng.stream("policy", "mglru", "scan")
+
+    def spawn_daemons(self) -> None:
+        assert self.system is not None
+        self.system.spawn_daemon(self._aging_loop(), name="mglru-aging")
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+
+    def on_page_inserted(self, page: Page, shadow: Optional[ShadowEntry]) -> None:
+        if page.kind is PageKind.FILE:
+            # File pages are not promoted straight to the youngest
+            # generation (§III-D): they start in the oldest generation,
+            # carrying a tier derived from their refault history.
+            if shadow is not None:
+                self.tiers.record_refault(shadow.tier)
+            page.tier = tier_of(page.refault_count, self.params.n_tiers)
+            self.gens.insert(page, self.gens.min_seq)
+        else:
+            # Anonymous demand faults are hot by definition: youngest.
+            page.tier = 0
+            self.gens.insert(page, self.gens.max_seq)
+
+    def make_shadow(self, page: Page) -> ShadowEntry:
+        assert self.system is not None
+        self.tiers.record_eviction(page.tier)
+        return ShadowEntry(
+            policy_clock=self.gens.min_seq,
+            tier=page.tier,
+            evict_time_ns=self.system.engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    # Aging walker
+    # ------------------------------------------------------------------
+
+    def request_aging(self) -> None:
+        """Ask the aging daemon to walk on its next tick."""
+        self._aging_requested = True
+
+    def _aging_needed(self) -> bool:
+        """Aging is demand-driven, as in the kernel: a walk runs when
+        eviction has exhausted the evictable generations (it sets
+        ``_aging_requested`` or runs the walk inline itself).
+
+        Pacing walks faster than generation drain — e.g. periodically —
+        clears accessed bits more often than hot pages are re-touched
+        and collapses the recency signal generations exist to preserve;
+        we verified empirically that an eagerly paced walker makes
+        MG-LRU evict a small hot set *more* readily than the stream
+        around it (correlated mass evictions)."""
+        return self._aging_requested
+
+    def _aging_loop(self) -> Iterator[Any]:
+        assert self.system is not None
+        while True:
+            yield Sleep(self.params.aging_interval_ns)
+            if self._aging_needed():
+                self._aging_requested = False
+                yield from self.run_aging_walk()
+
+    def _should_scan_region(self, region_index: int) -> bool:
+        mode = self.params.scan_mode
+        if mode is ScanMode.ALL:
+            return True
+        if mode is ScanMode.NONE:
+            return False
+        if mode is ScanMode.RAND:
+            return bool(self._scan_rng.random() < self.params.scan_rand_prob)
+        # Stock: Bloom-filtered, with a cold-start full scan.
+        if not self._first_walk_done:
+            return True
+        return self._bloom_cur.test(region_index)
+
+    def run_aging_walk(self) -> Iterator[Any]:
+        """One linear walk over the page table (generator).
+
+        Runs in the aging daemon normally, but reclaim contexts run it
+        inline when they find no evictable generation (the kernel's
+        ``try_to_inc_max_seq`` path); ``_aging_in_progress`` keeps the
+        two from walking concurrently.
+        """
+        assert self.system is not None
+        if self._aging_in_progress:
+            return
+        self._aging_in_progress = True
+        try:
+            yield from self._aging_walk_body()
+        finally:
+            self._aging_in_progress = False
+
+    def _aging_walk_body(self) -> Iterator[Any]:
+        system = self.system
+        costs = system.costs
+        stats = system.stats
+        stats.aging_walks += 1
+        self._evictions_at_last_walk = stats.evictions
+        walk_uses_bloom = self.params.scan_mode is ScanMode.BLOOM
+        scanned = 0
+        skipped = 0
+        # Scan costs are accrued and yielded in batches: one Compute per
+        # region would flood the event loop (walks cover hundreds of
+        # regions) without changing contention at the timescales that
+        # matter.
+        pending_ns = 0
+        batch_ns = 32 * costs.pte_scan_ns * 64
+        for region in system.address_space.page_table.regions():
+            pending_ns += costs.bloom_op_ns
+            if not self._should_scan_region(region.index):
+                skipped += 1
+                continue
+            scanned += 1
+            # Linear scan: read every PTE of the region.
+            pending_ns += region.n_ptes * costs.pte_scan_ns
+            if pending_ns >= batch_ns:
+                yield Compute(pending_ns)
+                pending_ns = 0
+            stats.ptes_scanned += region.n_ptes
+            young = 0
+            for page in region.pages:
+                if page.present and page.accessed:
+                    young += 1
+                    page.accessed = False
+                    if page._ilist_owner is not None:
+                        self.gens.promote(page)
+                        stats.promotions += 1
+            if walk_uses_bloom and young >= self.params.young_region_threshold:
+                self._bloom_next.add(region.index)
+        if pending_ns:
+            yield Compute(pending_ns)
+        self._first_walk_done = True
+        if walk_uses_bloom:
+            self._bloom_cur, self._bloom_next = self._bloom_next, self._bloom_cur
+            self._bloom_next.clear()
+        if self.gens.inc_max_seq():
+            stats.policy_ticks += 1
+        else:
+            stats.gen_cap_hits += 1
+        stats.extra["aging_regions_scanned"] = (
+            stats.extra.get("aging_regions_scanned", 0) + scanned
+        )
+        stats.extra["aging_regions_skipped"] = (
+            stats.extra.get("aging_regions_skipped", 0) + skipped
+        )
+
+    # ------------------------------------------------------------------
+    # Eviction walker
+    # ------------------------------------------------------------------
+
+    def _max_evictable_seq(self) -> int:
+        return self.gens.max_seq - MIN_NR_GENS
+
+    def _pop_candidate(self) -> Optional[Page]:
+        """Tail of the oldest *evictable* generation, or None."""
+        gens = self.gens
+        while True:
+            if gens.min_seq > self._max_evictable_seq():
+                return None
+            lst = gens._lists.get(gens.min_seq)
+            if lst is not None and len(lst):
+                return lst.pop_tail()
+            if not gens.try_advance_min_seq():
+                return None
+
+    def reclaim(self, nr_pages: int, direct: bool) -> Iterator[Any]:
+        assert self.system is not None
+        system = self.system
+        reclaimed = 0
+        scanned = 0
+        inline_walks = 0
+        while reclaimed < nr_pages and scanned < SCAN_BUDGET_PER_RECLAIM:
+            page = self._pop_candidate()
+            if page is None:
+                # Oldest generations exhausted: aging must create room.
+                # Run it inline (kernel try_to_inc_max_seq) unless the
+                # daemon already is, or we have tried twice.
+                if not self._aging_in_progress and inline_walks < 2:
+                    inline_walks += 1
+                    yield from self.run_aging_walk()
+                    continue
+                self.request_aging()
+                break
+            scanned += 1
+            # Check the accessed bit through the reverse map.
+            yield Compute(system.rmap.walk_cost_ns())
+            if page.accessed:
+                page.accessed = False
+                self._promote_hot_candidate(page)
+                system.stats.promotions += 1
+                # Spatial locality: scan the PTEs around the hot page,
+                # promoting its accessed neighbours (§III-C), and feed
+                # the region into the aging walker's filter.
+                yield from self._scan_nearby(page.region)
+                continue
+            if page.kind is PageKind.FILE and not self.tiers.can_evict(page.tier):
+                # PID-protected tier: move up one generation instead.
+                target = min(page.gen_seq + 1, self.gens.max_seq)
+                self.gens.insert(page, target)
+                continue
+            ok = yield from system.evict_page(page)
+            if ok:
+                reclaimed += 1
+            else:
+                # Re-accessed during writeback: it is hot; promote it.
+                self.gens.insert(page, self.gens.max_seq)
+        if self.gens.min_seq > self._max_evictable_seq():
+            self.request_aging()
+        return reclaimed
+
+    def _promote_hot_candidate(self, page: Page) -> None:
+        """Promotion rule for a candidate found accessed at eviction."""
+        if page.kind is PageKind.FILE:
+            # One tier up within its generation, not straight to youngest.
+            page.tier = min(page.tier + 1, self.params.n_tiers - 1)
+            self.gens.insert(page, page.gen_seq)
+        else:
+            self.gens.insert(page, self.gens.max_seq)
+
+    def _scan_nearby(self, region) -> Iterator[Any]:
+        """Eviction-time spatial scan of one page-table region."""
+        assert self.system is not None
+        system = self.system
+        costs = system.costs
+        if region is None:
+            return
+        yield Compute(region.n_ptes * costs.pte_nearby_scan_ns)
+        system.stats.ptes_scanned_nearby += region.n_ptes
+        promoted = 0
+        for page in region.pages:
+            if (
+                page.present
+                and page.accessed
+                and page._ilist_owner is not None
+            ):
+                page.accessed = False
+                if page.kind is PageKind.FILE:
+                    page.tier = min(page.tier + 1, self.params.n_tiers - 1)
+                else:
+                    self.gens.promote(page)
+                promoted += 1
+        system.stats.promotions += promoted
+        if self.params.scan_mode is ScanMode.BLOOM:
+            yield Compute(costs.bloom_op_ns)
+            self._bloom_next.add(region.index)
+        # Refresh tier protection as eviction pressure evolves.
+        self.tiers.update_protection()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resident_count(self) -> int:
+        return self.gens.total_pages()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(gens={self.gens.nr_gens}/{self.params.max_nr_gens}, "
+            f"min={self.gens.min_seq}, max={self.gens.max_seq}, "
+            f"scan={self.params.scan_mode.value})"
+        )

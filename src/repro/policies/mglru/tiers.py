@@ -1,0 +1,109 @@
+"""Refault tiers for file-backed pages, balanced by the PID controller.
+
+§III-D: pages accessed through file descriptors are *not* promoted to
+the youngest generation on access; they climb one *tier* at a time
+within their generation.  A page's tier is ``log2`` of its accesses
+through refaults.  If higher tiers (file pages) refault more than the
+base tier, MG-LRU protects them from eviction until the rates balance.
+
+:class:`TierTracker` keeps per-tier eviction/refault counters over a
+sliding window, feeds the imbalance into a
+:class:`~repro.policies.mglru.pid.PIDController`, and answers the one
+question the eviction walker asks: "may I evict a page of tier t?".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.policies.mglru.pid import PIDController
+
+
+def tier_of(refault_count: int, n_tiers: int) -> int:
+    """Map a page's refault count to its tier (``log2``-spaced)."""
+    tier = 0
+    count = refault_count
+    while count > 0 and tier < n_tiers - 1:
+        tier += 1
+        count >>= 1
+    return tier
+
+
+class TierTracker:
+    """Per-tier refault accounting and eviction protection."""
+
+    #: Halve the counters once this many events accumulate, so rates
+    #: track the recent past (Linux uses similar periodic decay).
+    DECAY_THRESHOLD = 1024
+
+    def __init__(
+        self,
+        n_tiers: int,
+        kp: float = 0.5,
+        ki: float = 0.1,
+        kd: float = 0.0,
+    ) -> None:
+        if n_tiers < 1:
+            raise ConfigError("need at least one tier")
+        self.n_tiers = n_tiers
+        self.evictions: List[int] = [0] * n_tiers
+        self.refaults: List[int] = [0] * n_tiers
+        self._pid = PIDController(kp, ki, kd, setpoint=0.0)
+        #: Tiers strictly below this index are evictable; others are
+        #: currently protected.
+        self.protected_from_tier = n_tiers  # start fully unprotected
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def record_eviction(self, tier: int) -> None:
+        """A page of *tier* was evicted."""
+        self.evictions[min(tier, self.n_tiers - 1)] += 1
+        self._maybe_decay()
+
+    def record_refault(self, tier: int) -> None:
+        """A page evicted at *tier* refaulted."""
+        self.refaults[min(tier, self.n_tiers - 1)] += 1
+        self._maybe_decay()
+
+    def _maybe_decay(self) -> None:
+        if sum(self.evictions) + sum(self.refaults) >= self.DECAY_THRESHOLD:
+            self.evictions = [e // 2 for e in self.evictions]
+            self.refaults = [r // 2 for r in self.refaults]
+
+    def refault_rate(self, tier: int) -> float:
+        """Refaults per eviction for *tier* (0 when it saw no evictions)."""
+        ev = self.evictions[tier]
+        if ev == 0:
+            return 0.0
+        return self.refaults[tier] / ev
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def update_protection(self) -> int:
+        """Re-run the controller; returns the first protected tier.
+
+        The measurement is the imbalance ``upper-tier refault rate −
+        base-tier refault rate``; positive imbalance (upper tiers
+        thrashing) drives the output negative, which lowers the
+        protection boundary so upper tiers stop being evicted.
+        """
+        base = self.refault_rate(0)
+        upper_rates = [self.refault_rate(t) for t in range(1, self.n_tiers)]
+        upper = max(upper_rates) if upper_rates else 0.0
+        output = self._pid.update(upper - base)
+        if output < -0.05:
+            # Upper tiers refault more: protect everything above tier 0.
+            self.protected_from_tier = 1
+        elif output > 0.05:
+            self.protected_from_tier = self.n_tiers
+        # Within the deadband, keep the previous decision (hysteresis).
+        return self.protected_from_tier
+
+    def can_evict(self, tier: int) -> bool:
+        """May the eviction walker reclaim a page of *tier*?"""
+        return tier < self.protected_from_tier

@@ -1,0 +1,98 @@
+"""Belady's OPT: the offline optimal-replacement lower bound.
+
+OPT needs the future, so it cannot implement the online
+:class:`~repro.policies.base.ReplacementPolicy` interface; instead this
+module evaluates recorded access traces.  The extension benchmark
+``bench_baseline_policies`` records each workload's page-touch trace and
+reports how far every online policy's fault count sits above the OPT
+bound.
+
+The implementation is the standard next-use priority scheme: precompute,
+for each position, when the touched page is used next; keep resident
+pages in a max-heap keyed by next use; evict the page used farthest in
+the future.  Stale heap entries are skipped lazily, giving
+O(n log n) overall.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Sentinel "never used again" distance.
+_INFINITY = np.iinfo(np.int64).max
+
+
+def next_use_positions(trace: Sequence[int]) -> np.ndarray:
+    """For each index i, the next index j > i with trace[j] == trace[i]
+    (or a large sentinel if the page is never touched again)."""
+    n = len(trace)
+    next_use = np.full(n, _INFINITY, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for i in range(n - 1, -1, -1):
+        vpn = trace[i]
+        nxt = last_seen.get(vpn)
+        if nxt is not None:
+            next_use[i] = nxt
+        last_seen[vpn] = i
+    return next_use
+
+
+def belady_misses(trace: Sequence[int], capacity: int) -> int:
+    """Fault count of Belady's OPT on *trace* with *capacity* frames.
+
+    Counts cold (first-touch) misses too, mirroring how the simulator
+    counts total faults.
+    """
+    if capacity < 1:
+        raise ConfigError("capacity must be >= 1")
+    trace = list(trace)
+    next_use = next_use_positions(trace)
+    resident_next: Dict[int, int] = {}  # vpn -> its next-use position
+    heap: List[tuple[int, int]] = []  # (-next_use, vpn): farthest on top
+    misses = 0
+    for i, vpn in enumerate(trace):
+        nxt = int(next_use[i])
+        if vpn in resident_next:
+            resident_next[vpn] = nxt
+            heapq.heappush(heap, (-nxt, vpn))
+            continue
+        misses += 1
+        if len(resident_next) >= capacity:
+            # Evict the resident page with the farthest genuine next use.
+            while True:
+                neg_next, victim = heapq.heappop(heap)
+                if resident_next.get(victim) == -neg_next:
+                    del resident_next[victim]
+                    break
+        resident_next[vpn] = nxt
+        heapq.heappush(heap, (-nxt, vpn))
+    return misses
+
+
+def lru_misses(trace: Sequence[int], capacity: int) -> int:
+    """Fault count of *true* LRU (not an approximation) on *trace*.
+
+    Useful as the idealized target both Clock and MG-LRU approximate;
+    the gap between this and OPT bounds what any LRU-family policy can
+    achieve on a trace.
+    """
+    if capacity < 1:
+        raise ConfigError("capacity must be >= 1")
+    from collections import OrderedDict
+
+    resident: "OrderedDict[int, None]" = OrderedDict()
+    misses = 0
+    for vpn in trace:
+        if vpn in resident:
+            resident.move_to_end(vpn)
+            continue
+        misses += 1
+        if len(resident) >= capacity:
+            resident.popitem(last=False)
+        resident[vpn] = None
+    return misses

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate.
+
+This subpackage knows nothing about memory management.  It provides:
+
+- :class:`~repro.sim.engine.Engine` — the event loop and simulated clock;
+- :class:`~repro.sim.process.SimThread` — generator-coroutine threads;
+- command objects (:class:`~repro.sim.events.Compute`,
+  :class:`~repro.sim.events.Sleep`, ...) that thread generators ``yield``;
+- :class:`~repro.sim.cpu.CPU` — a processor-sharing contention model;
+- :class:`~repro.sim.resources.FifoResource` — FIFO queues for devices;
+- :class:`~repro.sim.rng.RngTree` — deterministic per-component RNG streams.
+"""
+
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine
+from repro.sim.events import (
+    Barrier,
+    Compute,
+    OneShotEvent,
+    Sleep,
+    WaitEvent,
+    Waker,
+    WaitWaker,
+)
+from repro.sim.process import SimThread
+from repro.sim.resources import FifoResource
+from repro.sim.rng import RngTree
+
+__all__ = [
+    "Engine",
+    "SimThread",
+    "CPU",
+    "Compute",
+    "Sleep",
+    "WaitEvent",
+    "OneShotEvent",
+    "Barrier",
+    "Waker",
+    "WaitWaker",
+    "FifoResource",
+    "RngTree",
+]

@@ -1,0 +1,137 @@
+"""The discrete-event engine: an event queue and a simulated clock.
+
+The engine is deliberately small.  It understands callbacks scheduled at
+future instants and generator-based threads (:class:`~repro.sim.process.
+SimThread`); everything else — CPU contention, device queues, memory
+management — is built on top of those two primitives.
+
+Simulated time is integer nanoseconds, starting at zero.  Events scheduled
+for the same instant fire in the order they were scheduled (a monotonically
+increasing sequence number breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.process import SimThread
+
+
+class Engine:
+    """Event loop with a simulated nanosecond clock.
+
+    Typical use::
+
+        engine = Engine()
+        thread = engine.spawn(my_generator(), name="worker")
+        engine.run()
+        assert thread.finished
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._now = 0
+        self._seq = 0
+        self._threads: list[SimThread] = []
+        self._running = False
+        #: Live non-daemon threads (kept incrementally; checked per event).
+        self._n_live_foreground = 0
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay_ns`` nanoseconds of simulated time."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay_ns, self._seq, fn))
+
+    def schedule_at(self, when_ns: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``when_ns``."""
+        self.schedule(when_ns - self._now, fn)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        generator: Iterator[Any],
+        name: str = "thread",
+        daemon: bool = False,
+    ) -> SimThread:
+        """Create a :class:`SimThread` from *generator* and start it now.
+
+        ``daemon`` threads do not keep :meth:`run` alive: the run ends when
+        every non-daemon thread has finished even if daemons are blocked
+        (mirroring kernel worker threads that never exit).
+        """
+        thread = SimThread(self, generator, name=name, daemon=daemon)
+        self._threads.append(thread)
+        if not daemon:
+            self._n_live_foreground += 1
+        # Start on the next event-loop turn so spawn order == start order.
+        self.schedule(0, lambda: thread._step(None))
+        return thread
+
+    def _thread_finished(self, thread: SimThread) -> None:
+        """Called by SimThread when its generator returns."""
+        if not thread.daemon:
+            self._n_live_foreground -= 1
+
+    @property
+    def threads(self) -> tuple[SimThread, ...]:
+        """All threads ever spawned on this engine."""
+        return tuple(self._threads)
+
+    def _live_foreground_threads(self) -> list[SimThread]:
+        return [t for t in self._threads if not t.daemon and not t.finished]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Process events until all foreground threads finish.
+
+        Stops early at ``until_ns`` if given.  Returns the simulated time
+        at which the run stopped.  Raises :class:`DeadlockError` if the
+        queue drains while a foreground thread is still blocked.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until_ns is not None and self._queue[0][0] > until_ns:
+                    self._now = until_ns
+                    return self._now
+                when, _seq, fn = heapq.heappop(self._queue)
+                if when < self._now:
+                    raise SimulationError("event queue went backwards in time")
+                self._now = when
+                fn()
+                if self._n_live_foreground == 0:
+                    return self._now
+            blocked = self._live_foreground_threads()
+            if blocked:
+                names = ", ".join(t.name for t in blocked)
+                raise DeadlockError(
+                    f"event queue drained with blocked threads: {names}"
+                )
+            return self._now
+        finally:
+            self._running = False
+
+    def run_for(self, duration_ns: int) -> int:
+        """Run for at most ``duration_ns`` more simulated nanoseconds."""
+        return self.run(until_ns=self._now + duration_ns)

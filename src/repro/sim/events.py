@@ -1,0 +1,193 @@
+"""Command objects yielded by thread generators, plus wait primitives.
+
+A simulated thread is a Python generator.  Each ``yield`` hands the engine
+one of the command objects below; the engine (via
+:class:`~repro.sim.process.SimThread`) performs the command and resumes the
+generator when it completes.  Subroutines compose with ``yield from``.
+
+Commands
+--------
+``Compute(ns)``
+    Consume ``ns`` nanoseconds of CPU work on the thread's CPU.  Subject to
+    processor-sharing dilation when more threads are runnable than there
+    are logical CPUs.
+``Sleep(ns)``
+    Advance simulated time without consuming CPU (blocking I/O waits,
+    timer sleeps).
+``WaitEvent(event)``
+    Block until a :class:`OneShotEvent` fires; resumes with its value.
+``WaitWaker(waker)``
+    Block until someone calls :meth:`Waker.wake` (kernel-daemon style).
+``Barrier.wait()``
+    Returned generator blocks until all parties arrive (``yield from``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sim.process import SimThread
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Consume ``ns`` nanoseconds of CPU time (contention-dilated)."""
+
+    ns: int
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Advance simulated time by ``ns`` without consuming CPU."""
+
+    ns: int
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Block until ``event`` fires; the generator resumes with its value."""
+
+    event: "OneShotEvent"
+
+
+@dataclass(frozen=True)
+class WaitWaker:
+    """Block until :meth:`Waker.wake` is called on ``waker``."""
+
+    waker: "Waker"
+
+
+class OneShotEvent:
+    """A fire-once event that wakes every waiter with a single value.
+
+    Mirrors a completion/future: waiters that arrive after the event has
+    fired resume immediately with the stored value.
+    """
+
+    __slots__ = ("_fired", "_value", "_waiters", "name")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self._fired = False
+        self._value: Any = None
+        self._waiters: List["SimThread"] = []
+
+    @property
+    def fired(self) -> bool:
+        """True once :meth:`fire` has been called."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (``None`` before firing)."""
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the event, waking all current waiters with *value*."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for thread in waiters:
+            thread._resume_soon(value)
+
+    def _add_waiter(self, thread: "SimThread") -> bool:
+        """Register *thread*; returns False if already fired (no block)."""
+        if self._fired:
+            return False
+        self._waiters.append(thread)
+        return True
+
+
+class Waker:
+    """A reusable wakeup flag for daemon threads (kswapd-style).
+
+    A daemon loops ``yield WaitWaker(waker)``; producers call
+    :meth:`wake`.  A wake that arrives while the daemon is running is
+    latched so the daemon re-runs once more instead of sleeping through
+    the request — the same semantics as kernel workqueue kicks.
+    """
+
+    __slots__ = ("_pending", "_waiter", "name")
+
+    def __init__(self, name: str = "waker") -> None:
+        self.name = name
+        self._pending = False
+        self._waiter: Optional["SimThread"] = None
+
+    @property
+    def pending(self) -> bool:
+        """True if a wake arrived with no thread waiting."""
+        return self._pending
+
+    def wake(self) -> None:
+        """Wake the waiting thread, or latch the wake for the next wait."""
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            waiter._resume_soon(None)
+        else:
+            self._pending = True
+
+    def _add_waiter(self, thread: "SimThread") -> bool:
+        """Register *thread*; returns False if a latched wake consumed it."""
+        if self._pending:
+            self._pending = False
+            return False
+        if self._waiter is not None:
+            raise SimulationError(
+                f"waker {self.name!r} already has waiter "
+                f"{self._waiter.name!r}; cannot add {thread.name!r}"
+            )
+        self._waiter = thread
+        return True
+
+
+class Barrier:
+    """A reusable synchronization barrier for ``parties`` threads.
+
+    Usage inside a thread generator::
+
+        yield from barrier.wait()
+
+    The last arriving thread releases everyone (it does not block); the
+    barrier then resets for the next round, like ``pthread_barrier``.
+    """
+
+    __slots__ = ("parties", "name", "_count", "_generation", "_event")
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name
+        self._count = 0
+        self._generation = 0
+        self._event = OneShotEvent(f"{name}-gen0")
+
+    @property
+    def n_waiting(self) -> int:
+        """Threads currently blocked at the barrier."""
+        return self._count
+
+    @property
+    def generation(self) -> int:
+        """How many times the barrier has been released."""
+        return self._generation
+
+    def wait(self) -> Iterator[Any]:
+        """Generator to ``yield from``; completes when all parties arrive."""
+        self._count += 1
+        if self._count == self.parties:
+            event = self._event
+            self._count = 0
+            self._generation += 1
+            self._event = OneShotEvent(f"{self.name}-gen{self._generation}")
+            event.fire(self._generation)
+            return
+        yield WaitEvent(self._event)

@@ -1,0 +1,23 @@
+"""Swap media models.
+
+Two devices matching the paper's testbed (§IV):
+
+- :class:`~repro.swapdev.ssd.SSDSwapDevice` — ~7.5 ms per 4 KiB I/O,
+  bounded queue depth, log-normal jitter; waiting threads sleep.
+- :class:`~repro.swapdev.zram.ZRAMSwapDevice` — 20 µs reads / 35 µs
+  writes; the work is LZO-RLE (de)compression on the faulting CPU, so it
+  is modeled as ``Compute`` and contends with application threads.
+"""
+
+from repro.swapdev.base import SwapDevice, SwapDeviceStats
+from repro.swapdev.compression import lzo_rle_compressed_size
+from repro.swapdev.ssd import SSDSwapDevice
+from repro.swapdev.zram import ZRAMSwapDevice
+
+__all__ = [
+    "SwapDevice",
+    "SwapDeviceStats",
+    "SSDSwapDevice",
+    "ZRAMSwapDevice",
+    "lzo_rle_compressed_size",
+]

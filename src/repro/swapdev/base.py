@@ -1,0 +1,56 @@
+"""The swap-device interface.
+
+A device exposes ``read(page)`` and ``write(page)`` as generators the
+fault/reclaim paths ``yield from``; latency and queueing are entirely the
+device's concern.  ``discard(page)`` releases any stored copy when the
+system drops a stale swap slot (a page was re-dirtied while resident).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.mm.page import Page
+
+
+@dataclass
+class SwapDeviceStats:
+    """I/O counters common to all devices."""
+
+    reads: int = 0
+    writes: int = 0
+    #: Total simulated ns spent servicing reads (includes queueing).
+    read_wait_ns: int = 0
+    #: Total simulated ns spent servicing writes (includes queueing).
+    write_wait_ns: int = 0
+
+    @property
+    def total_ios(self) -> int:
+        """Reads plus writes."""
+        return self.reads + self.writes
+
+
+class SwapDevice(abc.ABC):
+    """Abstract swap medium."""
+
+    name: str = "swap"
+
+    def __init__(self) -> None:
+        self.stats = SwapDeviceStats()
+
+    @abc.abstractmethod
+    def read(self, page: Page) -> Iterator[Any]:
+        """Generator: fetch *page*'s 4 KiB from the medium (swap-in)."""
+
+    @abc.abstractmethod
+    def write(self, page: Page) -> Iterator[Any]:
+        """Generator: store *page*'s 4 KiB to the medium (swap-out)."""
+
+    def discard(self, page: Page) -> None:
+        """Drop any stored copy of *page* (slot freed without a read)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return self.name

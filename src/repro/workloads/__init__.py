@@ -1,0 +1,62 @@
+"""Workload generators: the paper's three application domains (§IV).
+
+- :mod:`~repro.workloads.tpch` — TPC-H on Spark-SQL: barrier-synchronized
+  parallel stages over columnar tables with hash-join probes;
+- :mod:`~repro.workloads.pagerank` — GAP PageRank: iterations of sparse
+  matrix-vector work over a power-law graph in CSR layout, partitioned
+  by vertex count (so per-thread work is degree-skewed);
+- :mod:`~repro.workloads.ycsb` — YCSB A/B/C against a memcached-style
+  slab key-value store, with per-request latency capture.
+
+Shared substrates: :mod:`~repro.workloads.zipf` (exact Zipfian sampling)
+and :mod:`~repro.workloads.graph` (Chung-Lu power-law graphs in CSR).
+"""
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigError
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.graph import CSRGraph, power_law_graph
+from repro.workloads.kvstore import KVStore
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.tpch import TPCHWorkload
+from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads.zipf import ZipfSampler
+
+#: Factories for the paper's five workloads, keyed by figure labels.
+WORKLOAD_FACTORIES: Dict[str, Callable[[], Workload]] = {
+    "tpch": TPCHWorkload,
+    "pagerank": PageRankWorkload,
+    "ycsb-a": lambda: YCSBWorkload(mix="a"),
+    "ycsb-b": lambda: YCSBWorkload(mix="b"),
+    "ycsb-c": lambda: YCSBWorkload(mix="c"),
+}
+
+#: Plot order used throughout the paper's figures.
+PAPER_WORKLOADS = ("tpch", "pagerank", "ycsb-a", "ycsb-b", "ycsb-c")
+
+
+def make_workload(name: str) -> Workload:
+    """Construct a fresh workload instance by registry name."""
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        raise ConfigError(f"unknown workload {name!r}; known: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "TPCHWorkload",
+    "PageRankWorkload",
+    "YCSBWorkload",
+    "KVStore",
+    "ZipfSampler",
+    "CSRGraph",
+    "power_law_graph",
+    "WORKLOAD_FACTORIES",
+    "PAPER_WORKLOADS",
+    "make_workload",
+]

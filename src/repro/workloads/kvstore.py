@@ -1,0 +1,75 @@
+"""A slab-allocated in-memory key-value store (the Memcached stand-in).
+
+Memcached keeps items in slab classes — fixed-size chunks carved out of
+page-sized regions — and finds them through a hash-table index.  For
+page-replacement purposes two things matter and both are modeled:
+
+- **item placement**: which page a key's value lives on.  Keys are
+  hashed into slabs, so popular keys scatter across the whole item
+  region instead of clustering — the "random accesses" the paper blames
+  for every LRU variant's limited effectiveness on YCSB (§V-B);
+- **index layout**: a GET/SET first touches the hash-table page for the
+  key's bucket, then the item page.
+
+The store never evicts (it is sized to hold every item, as the paper
+loads 11 M items and lets the *OS* do the paging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._units import PAGE_SIZE
+from repro.errors import ConfigError
+
+#: Memcached per-item overhead (item header + CAS + key) in bytes.
+ITEM_OVERHEAD = 80
+#: Bytes per hash-table bucket entry.
+BUCKET_ENTRY = 8
+
+
+class KVStore:
+    """Layout model: keys → (index page, item page), page-relative."""
+
+    def __init__(
+        self,
+        n_items: int,
+        value_bytes: int,
+        rng: np.random.Generator,
+        index_load_factor: float = 0.75,
+    ) -> None:
+        if n_items < 1:
+            raise ConfigError("store needs at least one item")
+        if value_bytes < 1 or value_bytes > PAGE_SIZE - ITEM_OVERHEAD:
+            raise ConfigError("value size must fit a page with overhead")
+        self.n_items = n_items
+        self.value_bytes = value_bytes
+        self.items_per_page = PAGE_SIZE // (value_bytes + ITEM_OVERHEAD)
+        self.n_item_pages = -(-n_items // self.items_per_page)
+        n_buckets = int(n_items / index_load_factor)
+        self.n_index_pages = max(
+            1, -(-n_buckets * BUCKET_ENTRY // PAGE_SIZE)
+        )
+        # Scatter items over slabs: hash placement, not insertion order.
+        slot_of_item = rng.permutation(n_items)
+        self._item_page = (slot_of_item // self.items_per_page).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Lookups (vectorized; return page indices relative to each VMA)
+    # ------------------------------------------------------------------
+
+    def item_pages(self, keys: np.ndarray) -> np.ndarray:
+        """Item-region page index for each key."""
+        return self._item_page[keys]
+
+    def index_pages(self, keys: np.ndarray) -> np.ndarray:
+        """Index-region page index for each key (multiplicative hash)."""
+        hashed = (keys.astype(np.uint64) * np.uint64(2654435761)) & np.uint64(
+            0xFFFFFFFF
+        )
+        return (hashed % np.uint64(self.n_index_pages)).astype(np.int64)
+
+    @property
+    def footprint_pages(self) -> int:
+        """Item pages plus index pages."""
+        return self.n_item_pages + self.n_index_pages

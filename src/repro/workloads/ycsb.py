@@ -1,0 +1,161 @@
+"""YCSB workloads A, B and C against the slab KV store (§IV).
+
+Mixes follow the YCSB core workloads [12]:
+
+- **A** — update heavy: 50 % reads, 50 % updates;
+- **B** — read mostly: 95 % reads, 5 % updates;
+- **C** — read only.
+
+Requests draw keys from the standard Zipfian(0.99) distribution over a
+scattered key space.  Four server threads (memcached's default) process
+a fixed number of requests closed-loop; every request's simulated
+latency is recorded, giving the tail distributions of Figures 3, 8 and
+12.  A request touches the key's hash-index page, then its item page;
+updates dirty the item page, which is what couples write tails to
+reclaim writeback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List
+
+import numpy as np
+
+from repro._units import US
+from repro.errors import ConfigError
+from repro.mm.page import PageKind
+from repro.mm.system import MemorySystem
+from repro.sim.events import Compute
+from repro.sim.rng import RngTree
+from repro.workloads.base import Workload, WorkloadResult
+from repro.workloads.kvstore import KVStore
+from repro.workloads.zipf import ZipfSampler
+
+#: Read fraction per YCSB mix.
+MIX_READ_FRACTION = {"a": 0.50, "b": 0.95, "c": 1.00}
+
+
+@dataclass(frozen=True)
+class YCSBParams:
+    """Scaled-down stand-ins for the paper's 11 M items / 110 M requests."""
+
+    n_items: int = 15_000
+    value_bytes: int = 940  # ~1 KiB values → 4 items per page
+    n_requests: int = 120_000
+    n_threads: int = 4  # memcached default (§IV)
+    zipf_theta: float = 0.99
+    #: Per-request CPU work (hash, memcpy, protocol handling).
+    request_compute_ns: int = 6 * US
+    #: Requests sampled per batch (amortizes RNG cost, not semantics).
+    batch_size: int = 512
+
+
+class YCSBWorkload(Workload):
+    """One YCSB mix (A, B or C) against the KV store."""
+
+    def __init__(self, mix: str = "a", params: YCSBParams = YCSBParams()) -> None:
+        super().__init__()
+        mix = mix.lower()
+        if mix not in MIX_READ_FRACTION:
+            raise ConfigError(f"unknown YCSB mix {mix!r} (use a/b/c)")
+        self.mix = mix
+        self.params = params
+        self.name = f"ycsb-{mix}"
+        self.n_threads = params.n_threads
+        self.read_fraction = MIX_READ_FRACTION[mix]
+        self._store: KVStore | None = None
+        self._zipf: ZipfSampler | None = None
+        self._rng: RngTree | None = None
+        self._index_start = 0
+        self._item_start = 0
+        #: Per-op-type latency samples, filled during the run.
+        self._latencies: Dict[str, List[float]] = {"read": [], "write": []}
+        self._requests_done = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _build(self, rng: RngTree) -> int:
+        self._rng = rng
+        p = self.params
+        self._store = KVStore(p.n_items, p.value_bytes, rng.stream("kv", "layout"))
+        self._zipf = ZipfSampler(
+            p.n_items,
+            theta=p.zipf_theta,
+            permutation=rng.stream("kv", "rank-perm").permutation(p.n_items),
+        )
+        return self._store.footprint_pages
+
+    def setup(self, system: MemorySystem) -> None:
+        assert self._store is not None
+        index = system.address_space.map_area(
+            "kv-index", self._store.n_index_pages, PageKind.ANON, entropy=0.45
+        )
+        items = system.address_space.map_area(
+            "kv-items", self._store.n_item_pages, PageKind.ANON, entropy=0.65
+        )
+        self._index_start = index.start_vpn
+        self._item_start = items.start_vpn
+
+    # ------------------------------------------------------------------
+    # Request loop
+    # ------------------------------------------------------------------
+
+    def thread_body(self, system: MemorySystem, tid: int) -> Iterator[Any]:
+        assert self._store is not None and self._zipf is not None
+        p = self.params
+        n_mine = p.n_requests // p.n_threads
+        # Request streams are per-trial; the store layout is fixed data.
+        key_rng = system.rng.stream("ycsb", "keys", tid)
+        op_rng = system.rng.stream("ycsb", "ops", tid)
+        table = system.address_space.page_table
+        engine = system.engine
+        read_lat = self._latencies["read"]
+        write_lat = self._latencies["write"]
+        issued = 0
+        while issued < n_mine:
+            batch = min(p.batch_size, n_mine - issued)
+            keys = self._zipf.sample(key_rng, batch)
+            is_read = op_rng.random(batch) < self.read_fraction
+            index_vpns = self._index_start + self._store.index_pages(keys)
+            item_vpns = self._item_start + self._store.item_pages(keys)
+            for i in range(batch):
+                start = engine.now
+                write = not is_read[i]
+                yield Compute(p.request_compute_ns)
+                # Hash-table lookup, then the item itself.
+                page = table.lookup(index_vpns[i])
+                if page.present:
+                    system.stats.hits += 1
+                    page.accessed = True
+                else:
+                    yield from system.handle_fault(page, False)
+                page = table.lookup(item_vpns[i])
+                if page.present:
+                    system.stats.hits += 1
+                    page.accessed = True
+                    if write:
+                        page.dirty = True
+                else:
+                    yield from system.handle_fault(page, write)
+                (write_lat if write else read_lat).append(engine.now - start)
+            issued += batch
+        self._requests_done += issued
+        return issued
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def result(self) -> WorkloadResult:
+        out = WorkloadResult()
+        out.metrics["requests"] = float(self._requests_done)
+        for op, samples in self._latencies.items():
+            if samples:
+                out.latencies_ns[op] = np.asarray(samples, dtype=np.int64)
+        if self._requests_done:
+            total = sum(float(np.sum(v)) for v in out.latencies_ns.values())
+            out.metrics["mean_request_ns"] = total / self._requests_done
+        return out

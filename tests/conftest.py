@@ -1,0 +1,67 @@
+"""Shared test fixtures: small, fast simulator assemblies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mm.page import PageKind
+from repro.mm.system import MemorySystem
+from repro.policies import make_policy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngTree
+from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> RngTree:
+    return RngTree(1234)
+
+
+def make_small_system(
+    policy_name: str = "clock",
+    device: str = "ssd",
+    capacity: int = 128,
+    heap_pages: int = 256,
+    seed: int = 1,
+    n_cpus: int = 4,
+    start: bool = True,
+):
+    """A tiny MemorySystem with one anonymous heap VMA.
+
+    Returns (engine, system, vma).
+    """
+    eng = Engine()
+    tree = RngTree(seed)
+    policy = make_policy(policy_name)
+    if device == "ssd":
+        dev = SSDSwapDevice(eng, tree.stream("ssd"))
+    else:
+        dev = ZRAMSwapDevice(tree.stream("zram"))
+    system = MemorySystem(
+        eng, tree, policy, dev, capacity_frames=capacity, n_cpus=n_cpus
+    )
+    vma = system.address_space.map_area("heap", heap_pages, PageKind.ANON)
+    if start:
+        system.start()
+    return eng, system, vma
+
+
+def touch_all(system, vma, write=False, compute_ns=100):
+    """A generator body touching every page of a VMA once."""
+    vpns = np.arange(vma.start_vpn, vma.end_vpn)
+    yield from system.access_run(vpns, write=write, compute_ns_per_access=compute_ns)
+
+
+def run_threads(eng, system, bodies):
+    """Spawn generator bodies as app threads and run to completion."""
+    threads = [
+        system.spawn_app_thread(body, f"t{i}") for i, body in enumerate(bodies)
+    ]
+    eng.run()
+    return threads

@@ -1,0 +1,116 @@
+"""Configuration validation and result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.distributions import fault_distribution_summary, joint_distribution
+from repro.core.results import ExperimentResult, TrialResult
+from repro.errors import ConfigError
+
+
+def trial(workload="tpch", policy="clock", swap="ssd", ratio=0.5, seed=1,
+          runtime_ns=10**9, majors=100):
+    return TrialResult(
+        workload=workload, policy=policy, swap=swap, capacity_ratio=ratio,
+        seed=seed, runtime_ns=runtime_ns, major_faults=majors, minor_faults=10,
+    )
+
+
+class TestSystemConfig:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.policy == "mglru"
+        assert "mglru" in config.label
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(policy="lrux")
+
+    def test_unknown_swap_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(swap="nvme")
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(capacity_ratio=0.0)
+
+    def test_with_override(self):
+        config = SystemConfig().with_(policy="clock")
+        assert config.policy == "clock"
+        assert config.swap == "ssd"
+
+
+class TestExperimentConfig:
+    def test_seeds_derived_from_base(self):
+        config = ExperimentConfig(workload="tpch", n_trials=3, base_seed=50)
+        assert list(config.seeds()) == [50, 51, 52]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(workload="spec2006")
+
+    def test_label(self):
+        config = ExperimentConfig(workload="tpch")
+        assert config.label.startswith("tpch:")
+
+
+class TestResults:
+    def test_vectors_and_summaries(self):
+        result = ExperimentResult("tpch", "clock", "ssd", 0.5)
+        result.add(trial(runtime_ns=10**9, majors=100))
+        result.add(trial(seed=2, runtime_ns=2 * 10**9, majors=300))
+        assert result.n_trials == 2
+        assert result.mean_runtime_ns() == pytest.approx(1.5e9)
+        assert result.mean_faults() == 200
+        assert result.runtime_spread() == pytest.approx(2.0)
+        summary = result.summary()
+        assert summary["faults_max_over_mean"] == pytest.approx(1.5)
+
+    def test_mismatched_trial_rejected(self):
+        result = ExperimentResult("tpch", "clock", "ssd", 0.5)
+        with pytest.raises(ConfigError):
+            result.add(trial(policy="mglru"))
+
+    def test_pooled_latencies(self):
+        result = ExperimentResult("ycsb-a", "clock", "ssd", 0.5)
+        t1 = trial(workload="ycsb-a")
+        t1.latencies_ns["read"] = np.array([1, 2, 3])
+        t2 = trial(workload="ycsb-a", seed=2)
+        t2.latencies_ns["read"] = np.array([4, 5])
+        result.add(t1)
+        result.add(t2)
+        assert result.pooled_latencies_ns("read").tolist() == [1, 2, 3, 4, 5]
+        assert len(result.pooled_latencies_ns("write")) == 0
+
+    def test_trial_to_dict_round_trips_scalars(self):
+        t = trial()
+        t.latencies_ns["read"] = np.arange(1000)
+        d = t.to_dict()
+        assert d["major_faults"] == 100
+        assert "latency_tails_ns" in d
+
+    def test_runtime_s_property(self):
+        assert trial(runtime_ns=2 * 10**9).runtime_s == 2.0
+
+
+class TestDistributions:
+    def test_joint_distribution_fit(self):
+        result = ExperimentResult("tpch", "clock", "ssd", 0.5)
+        for i, majors in enumerate([100, 200, 300, 400]):
+            result.add(
+                trial(seed=i, majors=majors, runtime_ns=majors * 10**7)
+            )
+        joint = joint_distribution(result)
+        assert joint.r_squared == pytest.approx(1.0)
+        assert joint.fit.slope == pytest.approx(0.01)  # s per fault
+
+    def test_fault_distribution_normalized_to_mglru(self):
+        mglru = ExperimentResult("tpch", "mglru", "ssd", 0.75)
+        clock = ExperimentResult("tpch", "clock", "ssd", 0.75)
+        for i in range(4):
+            mglru.add(trial(policy="mglru", ratio=0.75, seed=i, majors=200))
+            clock.add(trial(policy="clock", ratio=0.75, seed=i, majors=100 + i))
+        summary = fault_distribution_summary([mglru, clock])
+        assert summary["mglru"]["mean"] == pytest.approx(1.0)
+        assert summary["clock"]["mean"] == pytest.approx(0.5075, rel=0.01)

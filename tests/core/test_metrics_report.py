@@ -1,0 +1,78 @@
+"""Metrics helpers and text report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    five_number_summary,
+    geometric_mean,
+    normalize_to,
+    tail_latencies,
+)
+from repro.core.report import bar, render_comparison, render_kv_block, render_table
+from repro.errors import ConfigError
+
+
+class TestMetrics:
+    def test_tail_latencies(self):
+        lat = np.arange(1, 10_001, dtype=np.int64)
+        tails = tail_latencies(lat)
+        assert tails[99.0] == pytest.approx(9900, rel=0.01)
+        assert tails[99.99] == pytest.approx(9999, rel=0.001)
+
+    def test_tail_latencies_empty_is_nan(self):
+        tails = tail_latencies(np.empty(0, dtype=np.int64))
+        assert all(np.isnan(v) for v in tails.values())
+
+    def test_tail_percentile_validation(self):
+        with pytest.raises(ConfigError):
+            tail_latencies(np.array([1]), percentiles=[150])
+
+    def test_normalize(self):
+        assert normalize_to([2, 4], 2) == [1.0, 2.0]
+        with pytest.raises(ConfigError):
+            normalize_to([1], 0)
+
+    def test_five_number_summary(self):
+        s = five_number_summary(np.arange(101))
+        assert s["min"] == 0 and s["max"] == 100
+        assert s["median"] == 50
+        assert s["q1"] == 25 and s["q3"] == 75
+
+    def test_five_number_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            five_number_summary([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            geometric_mean([1, 0])
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = render_table(["a", "bbbb"], [[1.0, "x"], [22.5, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_table_title(self):
+        text = render_table(["h"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_format(self):
+        text = render_table(["v"], [[1.23456]], float_format="{:.1f}")
+        assert "1.2" in text and "1.23" not in text
+
+    def test_kv_block(self):
+        text = render_kv_block("B", {"key": 1.5, "other": "x"})
+        assert "B" in text and "key" in text and "1.5" in text
+
+    def test_comparison(self):
+        text = render_comparison("Fig", "claimed", "seen")
+        assert "paper" in text and "measured" in text
+
+    def test_bar_clamps(self):
+        assert len(bar(5.0, scale=10, max_value=2.0)) == 10
+        assert bar(0.0) == ""

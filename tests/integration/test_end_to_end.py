@@ -1,0 +1,127 @@
+"""End-to-end invariants across every policy × device combination.
+
+These are the simulator's conservation laws: whatever the policy does,
+frames, rmap entries, swap slots and list memberships must stay
+consistent, and the same seed must reproduce the same execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.policies import POLICY_FACTORIES
+from tests.conftest import make_small_system, run_threads
+
+ALL_POLICIES = sorted(POLICY_FACTORIES)
+DEVICES = ("ssd", "zram")
+
+
+def thrash_body(system, vma, rng, n=1200, write_frac=0.3):
+    picks = vma.start_vpn + rng.integers(0, vma.n_pages, n)
+    writes = rng.random(n) < write_frac
+    table = system.address_space.page_table
+    for vpn, write in zip(picks.tolist(), writes.tolist()):
+        page = table.lookup(vpn)
+        if page.present:
+            page.accessed = True
+            if write:
+                page.dirty = True
+        else:
+            yield from system.handle_fault(page, write)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+@pytest.mark.parametrize("device", DEVICES)
+def test_conservation_laws(policy, device):
+    eng, system, vma = make_small_system(
+        policy, device=device, capacity=96, heap_pages=300, seed=7
+    )
+    rng = np.random.default_rng(3)
+    run_threads(
+        eng, system, [thrash_body(system, vma, rng) for _ in range(3)]
+    )
+    table = system.address_space.page_table
+    resident = [p for p in table.pages() if p.present]
+    swapped = [p for p in table.pages() if p.swap_slot is not None]
+
+    # Frames: every resident page holds exactly one frame; allocator and
+    # rmap agree.
+    assert len(resident) == system.frames.n_used
+    assert len(system.rmap) == len(resident)
+    frames = {p.frame for p in resident}
+    assert len(frames) == len(resident)
+
+    # Swap: slot accounting matches pages holding slots.
+    assert system.swap.n_used == len(swapped)
+
+    # No page is simultaneously absent and frame-holding.
+    for page in table.pages():
+        if not page.present:
+            assert page.frame is None
+
+    # Activity actually happened.
+    assert system.stats.evictions > 0
+    assert system.stats.major_faults > 0
+
+
+@pytest.mark.parametrize("policy", ["clock", "mglru", "mglru-scan-rand"])
+def test_determinism_across_policies(policy):
+    def run_once():
+        eng, system, vma = make_small_system(
+            policy, device="zram", capacity=96, heap_pages=300, seed=11
+        )
+        rng = np.random.default_rng(5)
+        run_threads(
+            eng, system, [thrash_body(system, vma, rng) for _ in range(2)]
+        )
+        return (eng.now, system.stats.major_faults, system.stats.evictions)
+
+    assert run_once() == run_once()
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_policies_diverge_but_agree_on_minors(device):
+    """Minor faults (first touches) are policy-independent; the rest of
+    the behaviour may differ."""
+    minors = set()
+    for policy in ("clock", "mglru", "fifo"):
+        eng, system, vma = make_small_system(
+            policy, device=device, capacity=96, heap_pages=300, seed=7
+        )
+        rng = np.random.default_rng(3)
+        run_threads(eng, system, [thrash_body(system, vma, rng)])
+        minors.add(system.stats.minor_faults)
+    assert len(minors) == 1
+
+
+def test_zram_much_faster_than_ssd_same_workload():
+    results = {}
+    for device in DEVICES:
+        eng, system, vma = make_small_system(
+            "mglru", device=device, capacity=96, heap_pages=300, seed=7
+        )
+        rng = np.random.default_rng(3)
+        run_threads(eng, system, [thrash_body(system, vma, rng)])
+        results[device] = eng.now
+    assert results["zram"] * 10 < results["ssd"]
+
+
+def test_oom_raised_when_nothing_reclaimable():
+    """If the workload pins more pages than capacity via constant access
+    ... the system can still reclaim (bits get cleared), so true OOM
+    needs swap exhaustion instead."""
+    from repro.errors import SimulationError, SwapFullError
+
+    eng, system, vma = make_small_system(
+        "clock", device="ssd", capacity=96, heap_pages=2000, seed=1
+    )
+    # Shrink swap to force exhaustion mid-run.
+    system.swap.n_slots = 64
+    system.swap._free_slots = list(range(64))
+
+    def body():
+        vpns = np.arange(vma.start_vpn, vma.end_vpn)
+        yield from system.access_run(vpns, write=True)
+
+    system.spawn_app_thread(body(), "w")
+    with pytest.raises((SwapFullError, SimulationError)):
+        eng.run()

@@ -1,0 +1,102 @@
+"""Address space / VMA layout, including ASLR gaps."""
+
+import numpy as np
+import pytest
+
+from repro._units import PTES_PER_REGION
+from repro.errors import WorkloadError
+from repro.mm.address_space import ASLR_MAX_GAP_REGIONS, AddressSpace, VMArea
+from repro.mm.page import PageKind
+
+
+class TestVMArea:
+    def test_bounds(self):
+        vma = VMArea("x", 10, 5, PageKind.ANON)
+        assert vma.end_vpn == 15
+
+    def test_empty_area_rejected(self):
+        with pytest.raises(WorkloadError):
+            VMArea("x", 0, 0, PageKind.ANON)
+
+    def test_bad_entropy_rejected(self):
+        with pytest.raises(WorkloadError):
+            VMArea("x", 0, 1, PageKind.ANON, entropy=1.5)
+
+
+class TestAddressSpace:
+    def test_map_area_creates_pages(self):
+        space = AddressSpace()
+        vma = space.map_area("heap", 20)
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            page = space.page_table.lookup(vpn)
+            assert page.kind is PageKind.ANON
+            assert not page.present
+
+    def test_areas_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.map_area("a", 100)
+        b = space.map_area("b", 50)
+        assert b.start_vpn >= a.end_vpn
+
+    def test_region_alignment(self):
+        space = AddressSpace()
+        space.map_area("a", 3)
+        b = space.map_area("b", 3)
+        assert b.start_vpn % PTES_PER_REGION == 0
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.map_area("a", 1)
+        with pytest.raises(WorkloadError):
+            space.map_area("a", 1)
+
+    def test_footprint_counts_all_areas(self):
+        space = AddressSpace()
+        space.map_area("a", 10)
+        space.map_area("b", 15)
+        assert space.footprint_pages == 25
+
+    def test_vma_lookup_by_name(self):
+        space = AddressSpace()
+        vma = space.map_area("heap", 5)
+        assert space.vma("heap") is vma
+        with pytest.raises(WorkloadError):
+            space.vma("nope")
+
+    def test_file_kind_and_entropy_propagate(self):
+        space = AddressSpace()
+        vma = space.map_area("f", 4, PageKind.FILE, entropy=0.9)
+        page = space.page_table.lookup(vma.start_vpn)
+        assert page.kind is PageKind.FILE
+        assert page.entropy == 0.9
+
+
+class TestASLR:
+    def test_aslr_shifts_layout_between_seeds(self):
+        def layout(seed):
+            space = AddressSpace(aslr_rng=np.random.default_rng(seed))
+            return [space.map_area(n, 10).start_vpn for n in ("a", "b", "c")]
+
+        assert layout(1) != layout(2)
+
+    def test_aslr_is_deterministic_per_seed(self):
+        def layout(seed):
+            space = AddressSpace(aslr_rng=np.random.default_rng(seed))
+            return [space.map_area(n, 10).start_vpn for n in ("a", "b")]
+
+        assert layout(3) == layout(3)
+
+    def test_aslr_gap_bounded(self):
+        space = AddressSpace(aslr_rng=np.random.default_rng(0))
+        prev_end = 0
+        for name in "abcdef":
+            vma = space.map_area(name, 10)
+            gap = vma.start_vpn - prev_end
+            assert 0 <= gap <= (ASLR_MAX_GAP_REGIONS + 1) * PTES_PER_REGION
+            prev_end = vma.end_vpn
+
+    def test_no_aslr_without_rng(self):
+        space = AddressSpace()
+        a = space.map_area("a", PTES_PER_REGION)
+        b = space.map_area("b", 10)
+        assert b.start_vpn == a.end_vpn

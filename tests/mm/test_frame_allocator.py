@@ -1,0 +1,88 @@
+"""Frame allocator: watermarks and free-list integrity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.mm.frame_allocator import FrameAllocator
+
+
+class TestAllocation:
+    def test_initially_all_free(self):
+        alloc = FrameAllocator(100)
+        assert alloc.n_free == 100
+        assert alloc.n_used == 0
+
+    def test_alloc_returns_distinct_frames(self):
+        alloc = FrameAllocator(50)
+        frames = [alloc.alloc() for _ in range(50)]
+        assert sorted(frames) == list(range(50))
+        assert alloc.alloc() is None
+
+    def test_free_recycles(self):
+        alloc = FrameAllocator(16)
+        frame = alloc.alloc()
+        alloc.free(frame)
+        assert alloc.n_free == 16
+
+    def test_free_bogus_frame_rejected(self):
+        alloc = FrameAllocator(16)
+        with pytest.raises(SimulationError):
+            alloc.free(99)
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            FrameAllocator(4)
+
+    def test_total_allocations_counted(self):
+        alloc = FrameAllocator(16)
+        for _ in range(5):
+            alloc.free(alloc.alloc())
+        assert alloc.total_allocations == 5
+
+
+class TestWatermarks:
+    def test_watermark_ordering(self):
+        alloc = FrameAllocator(1000)
+        assert 0 < alloc.min_watermark < alloc.low_watermark < alloc.high_watermark
+
+    def test_below_predicates_transition(self):
+        alloc = FrameAllocator(1000)
+        while alloc.n_free > alloc.high_watermark:
+            alloc.alloc()
+        assert not alloc.below_high()
+        alloc.alloc()
+        assert alloc.below_high()
+        while alloc.n_free > alloc.low_watermark:
+            alloc.alloc()
+        assert alloc.below_low()
+        while alloc.n_free > alloc.min_watermark:
+            alloc.alloc()
+        assert alloc.below_min()
+
+    def test_bad_watermark_config_rejected(self):
+        with pytest.raises(ConfigError):
+            FrameAllocator(100, min_watermark_frac=0.5, low_watermark_frac=0.1)
+
+    def test_tiny_capacity_watermarks_distinct(self):
+        alloc = FrameAllocator(16)
+        assert alloc.min_watermark < alloc.low_watermark < alloc.high_watermark
+
+
+class TestFreeListProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=st.lists(st.booleans(), max_size=200))
+    def test_conservation(self, ops):
+        """alloc/free sequences never lose or duplicate frames."""
+        alloc = FrameAllocator(32)
+        held = []
+        for do_alloc in ops:
+            if do_alloc:
+                frame = alloc.alloc()
+                if frame is not None:
+                    assert frame not in held
+                    held.append(frame)
+            elif held:
+                alloc.free(held.pop())
+            assert alloc.n_free + len(held) == 32

@@ -1,0 +1,150 @@
+"""Intrusive list: O(1) splice semantics and structural invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.mm.intrusive_list import IntrusiveList, list_owner
+from repro.mm.page import Page
+
+
+def pages(n):
+    return [Page(vpn) for vpn in range(n)]
+
+
+class TestBasics:
+    def test_empty_list(self):
+        lst = IntrusiveList("l")
+        assert len(lst) == 0
+        assert not lst
+        assert lst.head is None and lst.tail is None
+        assert lst.pop_tail() is None and lst.pop_head() is None
+
+    def test_push_head_order(self):
+        lst = IntrusiveList("l")
+        ps = pages(3)
+        for p in ps:
+            lst.push_head(p)
+        assert list(lst) == [ps[2], ps[1], ps[0]]
+        assert lst.head is ps[2] and lst.tail is ps[0]
+
+    def test_push_tail_order(self):
+        lst = IntrusiveList("l")
+        ps = pages(3)
+        for p in ps:
+            lst.push_tail(p)
+        assert list(lst) == ps
+        assert lst.tail is ps[2]
+
+    def test_iter_tail_reverses(self):
+        lst = IntrusiveList("l")
+        ps = pages(4)
+        for p in ps:
+            lst.push_head(p)
+        assert list(lst.iter_tail()) == ps
+
+    def test_remove_middle(self):
+        lst = IntrusiveList("l")
+        ps = pages(3)
+        for p in ps:
+            lst.push_tail(p)
+        lst.remove(ps[1])
+        assert list(lst) == [ps[0], ps[2]]
+        assert len(lst) == 2
+        assert list_owner(ps[1]) is None
+
+    def test_contains_and_owner(self):
+        a, b = IntrusiveList("a"), IntrusiveList("b")
+        p = Page(0)
+        a.push_head(p)
+        assert p in a and p not in b
+        assert list_owner(p) is a
+
+    def test_move_to_head(self):
+        lst = IntrusiveList("l")
+        ps = pages(3)
+        for p in ps:
+            lst.push_tail(p)
+        lst.move_to_head(ps[2])
+        assert list(lst) == [ps[2], ps[0], ps[1]]
+
+    def test_pop_head_and_tail(self):
+        lst = IntrusiveList("l")
+        ps = pages(3)
+        for p in ps:
+            lst.push_tail(p)
+        assert lst.pop_head() is ps[0]
+        assert lst.pop_tail() is ps[2]
+        assert list(lst) == [ps[1]]
+
+
+class TestErrors:
+    def test_double_insert_rejected(self):
+        lst = IntrusiveList("l")
+        p = Page(0)
+        lst.push_head(p)
+        with pytest.raises(SimulationError):
+            lst.push_head(p)
+
+    def test_cross_list_insert_rejected(self):
+        a, b = IntrusiveList("a"), IntrusiveList("b")
+        p = Page(0)
+        a.push_head(p)
+        with pytest.raises(SimulationError):
+            b.push_tail(p)
+
+    def test_remove_from_wrong_list_rejected(self):
+        a, b = IntrusiveList("a"), IntrusiveList("b")
+        p = Page(0)
+        a.push_head(p)
+        with pytest.raises(SimulationError):
+            b.remove(p)
+
+    def test_remove_unlisted_rejected(self):
+        lst = IntrusiveList("l")
+        with pytest.raises(SimulationError):
+            lst.remove(Page(0))
+
+
+class TestModelBasedProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["push_head", "push_tail", "pop_head", "pop_tail", "remove", "move"]
+                ),
+                st.integers(0, 11),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_python_list_model(self, ops):
+        """Drive the intrusive list and a plain-list model with the same
+        operations; they must agree after every step."""
+        lst = IntrusiveList("sut")
+        model = []  # head at index 0
+        pool = pages(12)
+        for op, idx in ops:
+            page = pool[idx]
+            if op == "push_head" and page not in model:
+                lst.push_head(page)
+                model.insert(0, page)
+            elif op == "push_tail" and page not in model:
+                lst.push_tail(page)
+                model.append(page)
+            elif op == "pop_head" and model:
+                assert lst.pop_head() is model.pop(0)
+            elif op == "pop_tail" and model:
+                assert lst.pop_tail() is model.pop()
+            elif op == "remove" and page in model:
+                lst.remove(page)
+                model.remove(page)
+            elif op == "move" and page in model:
+                lst.move_to_head(page)
+                model.remove(page)
+                model.insert(0, page)
+            assert list(lst) == model
+            assert len(lst) == len(model)
+            assert list(lst.iter_tail()) == model[::-1]

@@ -1,0 +1,83 @@
+"""Page table: region layout, lookups, scan order."""
+
+import pytest
+
+from repro._units import PTES_PER_REGION
+from repro.errors import SimulationError
+from repro.mm.page import Page
+from repro.mm.page_table import PageTable, PageTableRegion
+
+
+class TestRegion:
+    def test_region_covers_contiguous_vpns(self):
+        region = PageTableRegion(2)
+        assert region.start_vpn == 2 * PTES_PER_REGION
+        assert region.n_ptes == PTES_PER_REGION
+
+    def test_add_out_of_range_rejected(self):
+        region = PageTableRegion(0)
+        with pytest.raises(SimulationError):
+            region.add(Page(PTES_PER_REGION))
+
+    def test_double_map_rejected(self):
+        region = PageTableRegion(0)
+        region.add(Page(3))
+        with pytest.raises(SimulationError):
+            region.add(Page(3))
+
+    def test_resident_pages_filters_absent(self):
+        region = PageTableRegion(0)
+        a, b = Page(0), Page(1)
+        region.add(a)
+        region.add(b)
+        a.present = True
+        assert list(region.resident_pages()) == [a]
+
+
+class TestPageTable:
+    def test_map_and_lookup(self):
+        table = PageTable()
+        page = Page(7)
+        table.map_page(page)
+        assert table.lookup(7) is page
+        assert page.region is not None
+        assert page.region.index == 7 // PTES_PER_REGION
+
+    def test_lookup_unmapped_raises(self):
+        with pytest.raises(SimulationError):
+            PageTable().lookup(0)
+
+    def test_get_returns_none_for_unmapped(self):
+        assert PageTable().get(5) is None
+
+    def test_double_map_rejected(self):
+        table = PageTable()
+        table.map_page(Page(1))
+        with pytest.raises(SimulationError):
+            table.map_page(Page(1))
+
+    def test_regions_in_address_order(self):
+        table = PageTable()
+        # Map pages in two non-adjacent regions, out of order.
+        table.map_page(Page(5 * PTES_PER_REGION))
+        table.map_page(Page(0))
+        indices = [r.index for r in table.regions()]
+        assert indices == [0, 5]
+
+    def test_n_pages_and_regions(self):
+        table = PageTable()
+        for vpn in range(PTES_PER_REGION + 1):
+            table.map_page(Page(vpn))
+        assert table.n_pages == PTES_PER_REGION + 1
+        assert table.n_regions == 2
+
+    def test_pages_iterates_in_vpn_order(self):
+        table = PageTable()
+        for vpn in [9, 2, 5, 0]:
+            table.map_page(Page(vpn))
+        assert [p.vpn for p in table.pages()] == [0, 2, 5, 9]
+
+    def test_sparse_regions_only_materialized_when_mapped(self):
+        table = PageTable()
+        table.map_page(Page(100 * PTES_PER_REGION))
+        assert table.n_regions == 1

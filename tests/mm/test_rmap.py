@@ -1,0 +1,56 @@
+"""Reverse map: mapping integrity and cost sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mm.page import Page
+from repro.mm.rmap import ReverseMap
+
+
+def make_rmap(seed=0, base=800, jitter=500):
+    return ReverseMap(np.random.default_rng(seed), base, jitter)
+
+
+class TestMapping:
+    def test_insert_lookup_remove(self):
+        rmap = make_rmap()
+        page = Page(0)
+        rmap.insert(5, page)
+        assert rmap.lookup(5) is page
+        assert len(rmap) == 1
+        assert rmap.remove(5) is page
+        assert rmap.lookup(5) is None
+
+    def test_double_insert_rejected(self):
+        rmap = make_rmap()
+        rmap.insert(1, Page(0))
+        with pytest.raises(SimulationError):
+            rmap.insert(1, Page(1))
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(SimulationError):
+            make_rmap().remove(0)
+
+
+class TestCostModel:
+    def test_walk_cost_at_least_base(self):
+        rmap = make_rmap(base=1000, jitter=200)
+        for _ in range(100):
+            assert rmap.walk_cost_ns() >= 1000
+
+    def test_walk_cost_jitter_varies(self):
+        rmap = make_rmap()
+        costs = {rmap.walk_cost_ns() for _ in range(50)}
+        assert len(costs) > 10
+
+    def test_walk_count_incremented(self):
+        rmap = make_rmap()
+        for _ in range(7):
+            rmap.walk_cost_ns()
+        assert rmap.walk_count == 7
+
+    def test_mean_jitter_close_to_parameter(self):
+        rmap = make_rmap(base=0, jitter=500)
+        samples = [rmap.walk_cost_ns() for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(500, rel=0.15)

@@ -1,0 +1,86 @@
+"""Swap space: slot lifecycle and shadow entries."""
+
+import pytest
+
+from repro.errors import SimulationError, SwapFullError
+from repro.mm.page import Page
+from repro.mm.swap_cache import ShadowEntry, SwapSpace
+
+
+def shadow(clock=1, tier=0, when=0):
+    return ShadowEntry(clock, tier, when)
+
+
+class TestSlotLifecycle:
+    def test_store_assigns_slot(self):
+        swap = SwapSpace(8)
+        page = Page(0)
+        slot = swap.store(page, shadow())
+        assert page.swap_slot == slot
+        assert swap.n_used == 1
+
+    def test_store_twice_rejected(self):
+        swap = SwapSpace(8)
+        page = Page(0)
+        swap.store(page, shadow())
+        with pytest.raises(SimulationError):
+            swap.store(page, shadow())
+
+    def test_refault_keeps_slot_and_pops_shadow(self):
+        swap = SwapSpace(8)
+        page = Page(0)
+        swap.store(page, shadow(clock=5))
+        entry = swap.refault(page)
+        assert entry.policy_clock == 5
+        assert page.swap_slot is not None  # swap-cache semantics
+        assert swap.peek_shadow(page) is None
+
+    def test_release_frees_slot(self):
+        swap = SwapSpace(8)
+        page = Page(0)
+        swap.store(page, shadow())
+        swap.release(page)
+        assert page.swap_slot is None
+        assert swap.n_used == 0
+
+    def test_release_without_slot_rejected(self):
+        swap = SwapSpace(8)
+        with pytest.raises(SimulationError):
+            swap.release(Page(0))
+
+    def test_refault_without_slot_rejected(self):
+        swap = SwapSpace(8)
+        with pytest.raises(SimulationError):
+            swap.refault(Page(0))
+
+    def test_exhaustion_raises_swap_full(self):
+        swap = SwapSpace(2)
+        swap.store(Page(0), shadow())
+        swap.store(Page(1), shadow())
+        with pytest.raises(SwapFullError):
+            swap.store(Page(2), shadow())
+
+    def test_set_shadow_requires_slot(self):
+        swap = SwapSpace(4)
+        page = Page(0)
+        with pytest.raises(SimulationError):
+            swap.set_shadow(page, shadow())
+        swap.store(page, shadow(clock=1))
+        swap.set_shadow(page, shadow(clock=9))
+        assert swap.peek_shadow(page).policy_clock == 9
+
+    def test_counters(self):
+        swap = SwapSpace(4)
+        page = Page(0)
+        swap.store(page, shadow())
+        swap.refault(page)
+        assert swap.stores == 1
+        assert swap.loads == 1
+
+    def test_slots_recycled_after_release(self):
+        swap = SwapSpace(1)
+        a, b = Page(0), Page(1)
+        swap.store(a, shadow())
+        swap.release(a)
+        swap.store(b, shadow())  # must succeed: slot was recycled
+        assert swap.n_used == 1

@@ -1,0 +1,84 @@
+"""Bloom filter: no false negatives, bounded false positives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.policies.mglru.bloom import BloomFilter, _mix64
+
+
+class TestBasics:
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(256, 2)
+        assert not any(bloom.test(k) for k in range(100))
+        assert bloom.is_empty
+
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter(1024, 2)
+        for k in range(0, 200, 3):
+            bloom.add(k)
+        for k in range(0, 200, 3):
+            assert bloom.test(k)
+
+    def test_clear_resets(self):
+        bloom = BloomFilter(256, 2)
+        bloom.add(5)
+        bloom.clear()
+        assert not bloom.test(5)
+        assert bloom.is_empty
+        assert bloom.n_added == 0
+
+    def test_fill_fraction_monotone(self):
+        bloom = BloomFilter(512, 2)
+        previous = 0.0
+        for k in range(50):
+            bloom.add(k)
+            fill = bloom.fill_fraction()
+            assert fill >= previous
+            previous = fill
+
+    def test_false_positive_rate_estimate(self):
+        bloom = BloomFilter(4096, 2)
+        for k in range(100):
+            bloom.add(k)
+        # ~200/4096 bits set -> FP rate ~ (0.05)^2 = 0.24%.
+        assert bloom.false_positive_rate() < 0.01
+
+    def test_observed_false_positives_bounded(self):
+        bloom = BloomFilter(4096, 2)
+        for k in range(150):
+            bloom.add(k)
+        fps = sum(1 for k in range(10_000, 20_000) if bloom.test(k))
+        assert fps / 10_000 < 0.05
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            BloomFilter(4, 2)
+        with pytest.raises(ConfigError):
+            BloomFilter(256, 0)
+
+    def test_mix64_avalanches(self):
+        outs = {_mix64(i) for i in range(1000)}
+        assert len(outs) == 1000  # injective on small inputs
+
+    def test_tiny_filter_saturates_gracefully(self):
+        bloom = BloomFilter(8, 2)
+        for k in range(100):
+            bloom.add(k)
+        assert bloom.fill_fraction() == 1.0
+        assert bloom.test(12345)  # saturated: everything positive
+
+
+class TestNoFalseNegativesProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 2**32), max_size=80),
+        n_bits=st.sampled_from([64, 512, 4096]),
+        n_hashes=st.integers(1, 4),
+    )
+    def test_never_false_negative(self, keys, n_bits, n_hashes):
+        bloom = BloomFilter(n_bits, n_hashes)
+        for k in keys:
+            bloom.add(k)
+        assert all(bloom.test(k) for k in keys)

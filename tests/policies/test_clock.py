@@ -1,0 +1,88 @@
+"""Clock-LRU behaviour through the full system."""
+
+import numpy as np
+
+from tests.conftest import make_small_system, run_threads, touch_all
+
+
+def lists_of(system):
+    return system.policy.active, system.policy.inactive
+
+
+class TestClockStructure:
+    def test_new_pages_enter_inactive(self):
+        eng, system, vma = make_small_system("clock", capacity=512, heap_pages=64)
+        run_threads(eng, system, [touch_all(system, vma)])
+        active, inactive = lists_of(system)
+        assert len(inactive) == 64
+        assert len(active) == 0
+
+    def test_resident_count_matches_lists(self):
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=256)
+        run_threads(eng, system, [touch_all(system, vma)])
+        active, inactive = lists_of(system)
+        assert system.policy.resident_count() == len(active) + len(inactive)
+        gap = system.frames.n_used - system.policy.resident_count()
+        assert 0 <= gap <= 32  # candidates mid-writeback at snapshot time
+
+    def test_hot_pages_promoted_to_active(self):
+        """Pages re-touched across reclaim rounds earn second chances."""
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=256)
+        hot = np.arange(vma.start_vpn, vma.start_vpn + 32)
+
+        def body():
+            for _ in range(6):
+                yield from system.access_run(hot)
+                yield from touch_all(system, vma)
+
+        run_threads(eng, system, [body()])
+        assert system.stats.promotions > 0
+
+    def test_hot_set_survives_stream(self):
+        """A small hot set re-touched constantly should fault much less
+        than streamed cold pages."""
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=512)
+        table = system.address_space.page_table
+        hot = np.arange(vma.start_vpn, vma.start_vpn + 16)
+        cold = np.arange(vma.start_vpn + 16, vma.end_vpn)
+
+        def body():
+            for i in range(4):
+                for chunk in np.array_split(cold, 8):
+                    yield from system.access_run(hot)
+                    yield from system.access_run(chunk)
+
+        run_threads(eng, system, [body()])
+        hot_refaults = sum(table.lookup(v).refault_count for v in hot.tolist())
+        cold_refaults = sum(table.lookup(v).refault_count for v in cold.tolist())
+        assert hot_refaults / len(hot) < cold_refaults / len(cold)
+
+    def test_rmap_walks_charged_for_scanning(self):
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=256)
+
+        def body():
+            yield from touch_all(system, vma)
+            yield from touch_all(system, vma)
+
+        run_threads(eng, system, [body()])
+        # Clock pays at least one rmap walk per scanned candidate.
+        assert system.rmap.walk_count >= system.stats.evictions
+
+    def test_workingset_refault_activation(self):
+        """A page refaulting within workingset distance goes straight to
+        the active list."""
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=160)
+
+        def body():
+            yield from touch_all(system, vma)  # evicts the early pages
+            yield from touch_all(system, vma)  # refaults them quickly
+
+        run_threads(eng, system, [body()])
+        active, _ = lists_of(system)
+        assert len(active) > 0
+
+    def test_describe_mentions_list_sizes(self):
+        eng, system, vma = make_small_system("clock", capacity=128, heap_pages=64)
+        run_threads(eng, system, [touch_all(system, vma)])
+        text = system.policy.describe()
+        assert "active" in text and "inactive" in text

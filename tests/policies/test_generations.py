@@ -1,0 +1,111 @@
+"""Generation lists: sequence-number arithmetic and O(1) movement."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mm.page import Page
+from repro.policies.mglru.generations import GenerationLists
+
+
+class TestSequences:
+    def test_initial_state(self):
+        gens = GenerationLists(4)
+        assert gens.min_seq == 0 and gens.max_seq == 0
+        assert gens.nr_gens == 1
+
+    def test_inc_max_seq_until_cap(self):
+        gens = GenerationLists(4)
+        assert gens.inc_max_seq()
+        assert gens.inc_max_seq()
+        assert gens.inc_max_seq()
+        assert gens.nr_gens == 4
+        assert not gens.inc_max_seq()  # saturated: the §V-B cap
+        assert gens.max_seq == 3
+
+    def test_min_advances_only_over_empty(self):
+        gens = GenerationLists(4)
+        gens.inc_max_seq()
+        page = Page(0)
+        gens.insert(page, 0)
+        assert not gens.try_advance_min_seq()
+        gens.remove(page)
+        assert gens.try_advance_min_seq()
+        assert gens.min_seq == 1
+
+    def test_min_never_passes_max(self):
+        gens = GenerationLists(4)
+        assert not gens.try_advance_min_seq()
+
+    def test_cap_reopens_after_min_advance(self):
+        gens = GenerationLists(2)
+        gens.inc_max_seq()
+        assert not gens.can_inc_max_seq
+        gens.try_advance_min_seq()
+        assert gens.can_inc_max_seq
+
+
+class TestPageMovement:
+    def test_insert_and_promote(self):
+        gens = GenerationLists(4)
+        gens.inc_max_seq()
+        page = Page(0)
+        gens.insert(page, 0)
+        assert page.gen_seq == 0
+        gens.promote(page)
+        assert page.gen_seq == gens.max_seq
+        assert gens.total_pages() == 1
+
+    def test_promote_unlisted_page_inserts(self):
+        gens = GenerationLists(4)
+        page = Page(0)
+        gens.promote(page)
+        assert page.gen_seq == 0
+        assert gens.total_pages() == 1
+
+    def test_pop_oldest_drains_in_lru_order(self):
+        gens = GenerationLists(4)
+        gens.inc_max_seq()
+        old = [Page(v) for v in range(3)]
+        young = Page(10)
+        for p in old:
+            gens.insert(p, 0)
+        gens.insert(young, 1)
+        popped = [gens.pop_oldest() for _ in range(4)]
+        assert popped[:3] == old  # oldest generation, tail first
+        assert popped[3] is young
+        assert gens.pop_oldest() is None
+
+    def test_pop_oldest_advances_min_seq(self):
+        gens = GenerationLists(4)
+        gens.inc_max_seq()
+        gens.insert(Page(0), 1)
+        gens.pop_oldest()
+        assert gens.min_seq == 1
+
+    def test_insert_outside_window_rejected(self):
+        gens = GenerationLists(4)
+        with pytest.raises(SimulationError):
+            gens.insert(Page(0), 5)
+
+    def test_remove_unlisted_rejected(self):
+        gens = GenerationLists(4)
+        with pytest.raises(SimulationError):
+            gens.remove(Page(0))
+
+    def test_gen_sizes_reports_nonempty(self):
+        gens = GenerationLists(4)
+        gens.inc_max_seq()
+        gens.insert(Page(0), 0)
+        gens.insert(Page(1), 1)
+        gens.insert(Page(2), 1)
+        assert gens.gen_sizes() == {0: 1, 1: 2}
+
+    def test_huge_gen_count_supported(self):
+        """Gen-14 (2^14 generations) relies on unbounded increments."""
+        gens = GenerationLists(2**14)
+        for _ in range(1000):
+            assert gens.inc_max_seq()
+        assert gens.nr_gens == 1001
+        page = Page(0)
+        gens.insert(page, gens.max_seq)
+        assert page.gen_seq == 1000

@@ -1,0 +1,176 @@
+"""MG-LRU through the full system: aging, eviction, variants."""
+
+import numpy as np
+import pytest
+
+from repro.policies.mglru import MGLRUParams, MGLRUPolicy, ScanMode
+from tests.conftest import make_small_system, run_threads, touch_all
+
+
+class TestInsertion:
+    def test_anon_pages_enter_youngest_generation(self):
+        eng, system, vma = make_small_system("mglru", capacity=512, heap_pages=64)
+        run_threads(eng, system, [touch_all(system, vma)])
+        gens = system.policy.gens
+        table = system.address_space.page_table
+        for vpn in range(vma.start_vpn, vma.end_vpn):
+            assert table.lookup(vpn).gen_seq == gens.max_seq
+
+    def test_resident_count_matches_frames(self):
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=256)
+        run_threads(eng, system, [touch_all(system, vma)])
+        gap = system.frames.n_used - system.policy.resident_count()
+        assert 0 <= gap <= 32  # candidates mid-writeback at snapshot time
+
+
+class TestAgingAndEviction:
+    def test_generations_rotate_under_pressure(self):
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=384)
+
+        def body():
+            for _ in range(3):
+                yield from touch_all(system, vma, compute_ns=500)
+
+        run_threads(eng, system, [body()])
+        gens = system.policy.gens
+        assert system.stats.aging_walks > 0
+        assert gens.max_seq > 0
+        assert gens.min_seq > 0  # old generations drained and advanced
+
+    def test_generation_cap_respected(self):
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=384)
+
+        def body():
+            for _ in range(3):
+                yield from touch_all(system, vma, compute_ns=500)
+
+        run_threads(eng, system, [body()])
+        assert system.policy.gens.nr_gens <= 4
+
+    def test_gen14_exceeds_four_generations(self):
+        eng, system, vma = make_small_system(
+            "mglru-gen14", capacity=128, heap_pages=384
+        )
+
+        def body():
+            for _ in range(4):
+                yield from touch_all(system, vma, compute_ns=500)
+
+        run_threads(eng, system, [body()])
+        assert system.policy.gens.aging_events > 3
+        assert system.stats.gen_cap_hits == 0
+
+    def test_hot_set_protected(self):
+        """A hot set re-touched much more often than a generation
+        drains must survive a cold stream.
+
+        The re-touch interval (one 16-page chunk ~ 16 evictions) is kept
+        well below the generation span (capacity/4 = 48 evictions);
+        when the two are comparable, accessed bits flap against aging
+        walks and protection degrades — a real MG-LRU regime effect the
+        variance analysis in EXPERIMENTS.md discusses."""
+        eng, system, vma = make_small_system("mglru", capacity=256, heap_pages=512)
+        table = system.address_space.page_table
+        hot = np.arange(vma.start_vpn, vma.start_vpn + 16)
+        cold = np.arange(vma.start_vpn + 16, vma.end_vpn)
+
+        def body():
+            for _ in range(4):
+                for chunk in np.array_split(cold, 32):
+                    yield from system.access_run(hot)
+                    yield from system.access_run(chunk)
+
+        run_threads(eng, system, [body()])
+        hot_refaults = sum(table.lookup(v).refault_count for v in hot.tolist())
+        cold_refaults = sum(table.lookup(v).refault_count for v in cold.tolist())
+        assert hot_refaults / len(hot) < cold_refaults / len(cold)
+
+    def test_eviction_promotes_accessed_candidates(self):
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=256)
+
+        def body():
+            yield from touch_all(system, vma)
+            yield from touch_all(system, vma)
+
+        run_threads(eng, system, [body()])
+        assert system.stats.promotions > 0
+
+    def test_nearby_scans_happen(self):
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=256)
+
+        def body():
+            for _ in range(3):
+                yield from touch_all(system, vma)
+
+        run_threads(eng, system, [body()])
+        assert system.stats.ptes_scanned_nearby > 0
+
+
+class TestScanModes:
+    def _run(self, policy_name, heap=384):
+        eng, system, vma = make_small_system(policy_name, capacity=128, heap_pages=heap)
+
+        def body():
+            for _ in range(3):
+                yield from touch_all(system, vma, compute_ns=500)
+
+        run_threads(eng, system, [body()])
+        return system
+
+    def test_scan_none_never_scans_in_aging(self):
+        system = self._run("mglru-scan-none")
+        assert system.stats.ptes_scanned == 0
+        assert system.stats.aging_walks > 0  # walks happen, scans do not
+
+    def test_scan_all_scans_everything(self):
+        system = self._run("mglru-scan-all")
+        extra = system.stats.extra
+        assert extra.get("aging_regions_skipped", 0) == 0
+        assert system.stats.ptes_scanned > 0
+
+    def test_scan_rand_scans_roughly_half(self):
+        system = self._run("mglru-scan-rand")
+        extra = system.stats.extra
+        scanned = extra.get("aging_regions_scanned", 0)
+        skipped = extra.get("aging_regions_skipped", 0)
+        assert scanned + skipped > 0
+        frac = scanned / (scanned + skipped)
+        assert 0.3 < frac < 0.7
+
+    def test_bloom_mode_skips_cold_regions(self):
+        """With a hot subset, the Bloom-filtered walk should skip some
+        regions after the cold-start walk."""
+        eng, system, vma = make_small_system("mglru", capacity=128, heap_pages=512)
+        hot = np.arange(vma.start_vpn, vma.start_vpn + 64)
+
+        def body():
+            yield from touch_all(system, vma)
+            for _ in range(40):
+                yield from system.access_run(hot, compute_ns_per_access=2000)
+
+        run_threads(eng, system, [body()])
+        assert system.stats.extra.get("aging_regions_skipped", 0) > 0
+
+
+class TestParams:
+    def test_variant_names(self):
+        assert MGLRUParams.default().variant_name == "MG-LRU"
+        assert MGLRUParams.gen14().variant_name == "Gen-14"
+        assert MGLRUParams.scan_all().variant_name == "Scan-All"
+        assert MGLRUParams.scan_none().variant_name == "Scan-None"
+        assert MGLRUParams.scan_rand().variant_name == "Scan-Rand"
+
+    def test_policy_name_follows_mode(self):
+        assert MGLRUPolicy(MGLRUParams.scan_all()).name == "mglru-scan-all"
+        assert MGLRUPolicy(MGLRUParams.gen14()).name == "mglru-gen14"
+
+    def test_with_override(self):
+        params = MGLRUParams.default().with_(bloom_bits=128)
+        assert params.bloom_bits == 128
+        assert params.max_nr_gens == 4
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(Exception):
+            MGLRUParams(max_nr_gens=1)
+        with pytest.raises(Exception):
+            MGLRUParams(scan_rand_prob=1.5)

@@ -1,0 +1,83 @@
+"""Belady's OPT and true-LRU offline evaluators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.policies.opt import belady_misses, lru_misses, next_use_positions
+
+
+class TestNextUse:
+    def test_positions(self):
+        trace = [1, 2, 1, 3, 2]
+        nxt = next_use_positions(trace)
+        assert nxt[0] == 2
+        assert nxt[1] == 4
+        assert nxt[2] > 10**9  # never again
+        assert nxt[3] > 10**9
+
+
+class TestBelady:
+    def test_all_cold_misses_when_distinct(self):
+        assert belady_misses([1, 2, 3, 4], capacity=2) == 4
+
+    def test_no_misses_when_everything_fits(self):
+        assert belady_misses([1, 2, 1, 2, 1], capacity=2) == 2
+
+    def test_classic_example(self):
+        # Belady's canonical sequence.
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        assert belady_misses(trace, capacity=3) == 7
+
+    def test_opt_beats_lru_on_looping_scan(self):
+        """Cyclic scan over N+1 pages with capacity N: LRU misses every
+        access; OPT does much better."""
+        trace = list(range(5)) * 10
+        lru = lru_misses(trace, capacity=4)
+        opt = belady_misses(trace, capacity=4)
+        assert lru == 50  # classic LRU pathological case
+        assert opt < lru / 2
+
+    def test_capacity_one(self):
+        trace = [1, 1, 2, 2, 1]
+        assert belady_misses(trace, capacity=1) == 3
+        assert lru_misses(trace, capacity=1) == 3
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            belady_misses([1], 0)
+        with pytest.raises(ConfigError):
+            lru_misses([1], 0)
+
+    def test_empty_trace(self):
+        assert belady_misses([], 4) == 0
+        assert lru_misses([], 4) == 0
+
+
+class TestOptimalityProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=st.lists(st.integers(0, 12), max_size=120),
+        capacity=st.integers(1, 8),
+    )
+    def test_opt_never_worse_than_lru(self, trace, capacity):
+        assert belady_misses(trace, capacity) <= lru_misses(trace, capacity)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=st.lists(st.integers(0, 12), max_size=100),
+        capacity=st.integers(1, 8),
+    )
+    def test_misses_at_least_distinct_pages_over_capacity(self, trace, capacity):
+        """Any policy pays at least one cold miss per distinct page."""
+        distinct = len(set(trace))
+        assert belady_misses(trace, capacity) >= distinct if trace else True
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=st.lists(st.integers(0, 10), max_size=80))
+    def test_bigger_capacity_never_hurts_opt(self, trace):
+        m_small = belady_misses(trace, 2)
+        m_big = belady_misses(trace, 6)
+        assert m_big <= m_small

@@ -1,0 +1,83 @@
+"""PID controller unit behaviour."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policies.mglru.pid import PIDController
+
+
+class TestPID:
+    def test_proportional_only(self):
+        pid = PIDController(kp=2.0, ki=0.0, kd=0.0, output_min=-100, output_max=100)
+        assert pid.update(1.0) == pytest.approx(-2.0)
+        assert pid.update(-3.0) == pytest.approx(6.0)
+
+    def test_integral_accumulates(self):
+        pid = PIDController(
+            kp=0.0, ki=1.0, kd=0.0, output_min=-100, output_max=100,
+            integral_leak=1.0,
+        )
+        pid.update(1.0)
+        out = pid.update(1.0)
+        assert out == pytest.approx(-2.0)
+
+    def test_integral_leak_forgets_old_error(self):
+        pid = PIDController(
+            kp=0.0, ki=1.0, kd=0.0, output_min=-100, output_max=100,
+            integral_leak=0.5,
+        )
+        pid.update(1.0)
+        for _ in range(30):
+            out = pid.update(0.0)
+        assert abs(out) < 1e-6
+
+    def test_integral_clamped_antiwindup(self):
+        pid = PIDController(
+            kp=0.0, ki=1.0, kd=0.0, output_min=-100, output_max=100,
+            integral_limit=5.0,
+        )
+        for _ in range(50):
+            out = pid.update(10.0)
+        assert out == pytest.approx(-5.0)
+
+    def test_derivative_reacts_to_change(self):
+        pid = PIDController(kp=0.0, ki=0.0, kd=1.0, output_min=-100, output_max=100)
+        pid.update(0.0)
+        out = pid.update(2.0)  # error changed by -2
+        assert out == pytest.approx(-2.0)
+
+    def test_output_clamped(self):
+        pid = PIDController(kp=10.0, ki=0.0, kd=0.0)
+        assert pid.update(5.0) == -1.0
+        assert pid.update(-5.0) == 1.0
+
+    def test_setpoint_shifts_error(self):
+        pid = PIDController(kp=1.0, ki=0.0, kd=0.0, setpoint=3.0,
+                            output_min=-100, output_max=100)
+        assert pid.update(1.0) == pytest.approx(2.0)
+
+    def test_reset_clears_state(self):
+        pid = PIDController(kp=1.0, ki=1.0, kd=1.0, output_min=-10, output_max=10)
+        pid.update(1.0)
+        pid.reset()
+        assert pid.last_output == 0.0
+        assert pid.update(0.0) == pytest.approx(0.0)
+
+    def test_converges_on_first_order_plant(self):
+        """Closed loop: plant x' = output; controller drives x to the
+        setpoint."""
+        pid = PIDController(kp=0.8, ki=0.2, kd=0.0, setpoint=5.0,
+                            output_min=-10, output_max=10)
+        x = 0.0
+        for _ in range(200):
+            x += pid.update(x, dt=1.0)
+        assert x == pytest.approx(5.0, abs=0.2)
+
+    def test_bad_dt_rejected(self):
+        pid = PIDController(1, 0, 0)
+        with pytest.raises(ConfigError):
+            pid.update(0.0, dt=0)
+
+    def test_bad_output_range_rejected(self):
+        with pytest.raises(ConfigError):
+            PIDController(1, 0, 0, output_min=1.0, output_max=-1.0)

@@ -1,0 +1,89 @@
+"""Refault tiers and PID-driven protection."""
+
+from repro.policies.mglru.tiers import TierTracker, tier_of
+
+
+class TestTierOf:
+    def test_zero_refaults_is_tier_zero(self):
+        assert tier_of(0, 4) == 0
+
+    def test_log2_spacing(self):
+        assert tier_of(1, 4) == 1
+        assert tier_of(2, 4) == 2
+        assert tier_of(4, 4) == 3
+
+    def test_capped_at_max_tier(self):
+        assert tier_of(1_000_000, 4) == 3
+        assert tier_of(1_000_000, 2) == 1
+
+
+class TestTierTracker:
+    def test_initially_everything_evictable(self):
+        tracker = TierTracker(4)
+        assert all(tracker.can_evict(t) for t in range(4))
+
+    def test_refault_rate_computation(self):
+        tracker = TierTracker(4)
+        for _ in range(10):
+            tracker.record_eviction(1)
+        for _ in range(5):
+            tracker.record_refault(1)
+        assert tracker.refault_rate(1) == 0.5
+        assert tracker.refault_rate(0) == 0.0
+
+    def test_upper_tier_thrash_triggers_protection(self):
+        tracker = TierTracker(4)
+        # Base tier: evictions that do not refault.
+        for _ in range(50):
+            tracker.record_eviction(0)
+        # Tier 2: heavily refaulting.
+        for _ in range(20):
+            tracker.record_eviction(2)
+            tracker.record_refault(2)
+        for _ in range(5):
+            tracker.update_protection()
+        assert not tracker.can_evict(2)
+        assert tracker.can_evict(0)  # tier 0 always evictable
+
+    def test_balanced_rates_leave_unprotected(self):
+        tracker = TierTracker(4)
+        for tier in (0, 1):
+            for _ in range(20):
+                tracker.record_eviction(tier)
+            for _ in range(2):
+                tracker.record_refault(tier)
+        tracker.update_protection()
+        assert all(tracker.can_evict(t) for t in range(4))
+
+    def test_protection_recovers_when_rates_cross(self):
+        tracker = TierTracker(4)
+        for _ in range(30):
+            tracker.record_eviction(0)
+        for _ in range(10):
+            tracker.record_eviction(1)
+            tracker.record_refault(1)
+        for _ in range(5):
+            tracker.update_protection()
+        assert not tracker.can_evict(1)
+        # Tier 0 starts thrashing while tier 1 cools off (evictions
+        # without refaults): the imbalance flips sign.
+        for _ in range(300):
+            tracker.record_eviction(0)
+            tracker.record_refault(0)
+            tracker.record_eviction(1)
+        for _ in range(60):
+            tracker.update_protection()
+        assert tracker.can_evict(1)
+
+    def test_decay_keeps_counters_bounded(self):
+        tracker = TierTracker(2)
+        for _ in range(5000):
+            tracker.record_eviction(0)
+        assert sum(tracker.evictions) < TierTracker.DECAY_THRESHOLD
+
+    def test_out_of_range_tier_clamped(self):
+        tracker = TierTracker(2)
+        tracker.record_eviction(99)
+        tracker.record_refault(99)
+        assert tracker.evictions[1] == 1
+        assert tracker.refaults[1] == 1

@@ -1,0 +1,167 @@
+"""CPU processor-sharing: work conservation, dilation, fairness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Sleep
+
+
+def run_computes(n_cpus, works):
+    """Spawn one thread per work amount; return (engine, finish times)."""
+    engine = Engine()
+    cpu = CPU(engine, n_cpus)
+    threads = []
+
+    def body(ns):
+        yield Compute(ns)
+
+    for i, w in enumerate(works):
+        t = engine.spawn(body(w), name=f"t{i}")
+        t.cpu = cpu
+        threads.append(t)
+    engine.run()
+    return engine, [t.finish_time_ns for t in threads]
+
+
+class TestBasics:
+    def test_single_job_exact_duration(self):
+        _, finishes = run_computes(1, [1000])
+        assert finishes == [1000]
+
+    def test_undersubscribed_jobs_run_at_full_rate(self):
+        _, finishes = run_computes(4, [500, 700, 900])
+        assert finishes == [500, 700, 900]
+
+    def test_two_jobs_one_cpu_share_equally(self):
+        # Both need 1000ns of service at rate 1/2 -> both end at 2000.
+        _, finishes = run_computes(1, [1000, 1000])
+        assert finishes == [2000, 2000]
+
+    def test_work_conservation_oversubscribed(self):
+        # Total work 3000ns on 1 CPU: last completion at 3000.
+        _, finishes = run_computes(1, [500, 1000, 1500])
+        assert max(finishes) == pytest.approx(3000, abs=5)
+
+    def test_short_job_leaves_then_rate_recovers(self):
+        # 1 CPU: jobs 100 and 1000. Shared until the short one got 100
+        # served (wall 200), then the long one runs alone.
+        _, finishes = run_computes(1, [100, 1000])
+        assert finishes[0] == pytest.approx(200, abs=5)
+        assert finishes[1] == pytest.approx(1100, abs=5)
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(SimulationError):
+            CPU(Engine(), 0)
+
+    def test_compute_zero_is_noop(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+
+        def body():
+            yield Compute(0)
+            return "done"
+
+        t = engine.spawn(body(), name="z")
+        t.cpu = cpu
+        engine.run()
+        assert t.result == "done"
+        assert t.finish_time_ns == 0
+
+    def test_compute_without_cpu_raises(self):
+        engine = Engine()
+
+        def body():
+            yield Compute(10)
+
+        engine.spawn(body(), name="nocpu")
+        with pytest.raises(SimulationError, match="no CPU"):
+            engine.run()
+
+
+class TestAccounting:
+    def test_utilization_single_busy_cpu(self):
+        engine = Engine()
+        cpu = CPU(engine, 2)
+
+        def body():
+            yield Compute(1000)
+
+        t = engine.spawn(body(), name="u")
+        t.cpu = cpu
+        engine.run()
+        # 1 of 2 CPUs busy the whole time.
+        assert cpu.utilization() == pytest.approx(0.5, rel=0.01)
+
+    def test_n_runnable_tracks_jobs(self):
+        engine = Engine()
+        cpu = CPU(engine, 2)
+        observed = []
+
+        def body():
+            yield Compute(100)
+            observed.append(cpu.n_runnable)
+
+        for i in range(3):
+            t = engine.spawn(body(), name=f"t{i}")
+            t.cpu = cpu
+        engine.run()
+        assert cpu.n_runnable == 0
+        assert all(0 <= n <= 3 for n in observed)
+
+    def test_rate_reflects_oversubscription(self):
+        engine = Engine()
+        cpu = CPU(engine, 2)
+
+        def body():
+            yield Compute(10_000)
+
+        for i in range(4):
+            t = engine.spawn(body(), name=f"t{i}")
+            t.cpu = cpu
+        engine.run_for(100)
+        assert cpu.current_rate == pytest.approx(0.5)
+
+    def test_interleaved_compute_and_sleep(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+
+        def body():
+            yield Compute(100)
+            yield Sleep(1000)
+            yield Compute(100)
+            return engine.now
+
+        t = engine.spawn(body(), name="i")
+        t.cpu = cpu
+        engine.run()
+        assert t.result == pytest.approx(1200, abs=5)
+
+
+class TestWorkConservationProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_cpus=st.integers(1, 8),
+        works=st.lists(st.integers(1, 50_000), min_size=1, max_size=10),
+    )
+    def test_makespan_bounds(self, n_cpus, works):
+        """Processor sharing is work-conserving: the makespan is at
+        least max(total/c, longest job) and at most total work."""
+        _, finishes = run_computes(n_cpus, works)
+        makespan = max(finishes)
+        lower = max(sum(works) / n_cpus, max(works))
+        assert makespan >= lower - 5
+        assert makespan <= sum(works) + len(works) * 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        works=st.lists(st.integers(100, 10_000), min_size=2, max_size=6),
+    )
+    def test_equal_work_finishes_together(self, works):
+        """Jobs submitted together with equal work end simultaneously."""
+        w = works[0]
+        _, finishes = run_computes(1, [w] * len(works))
+        assert max(finishes) - min(finishes) <= len(works) * 2

@@ -1,0 +1,157 @@
+"""Engine: scheduling order, clock semantics, thread lifecycle."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import OneShotEvent, Sleep, WaitEvent
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0
+
+    def test_schedule_runs_at_correct_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(100, lambda: seen.append(engine.now))
+        engine.spawn(self._sleeper(200), name="keepalive")
+        engine.run()
+        assert seen == [100]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        engine = Engine()
+        seen = []
+        for i in range(5):
+            engine.schedule(50, lambda i=i: seen.append(i))
+        engine.spawn(self._sleeper(100), name="s")
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    @staticmethod
+    def _sleeper(ns):
+        yield Sleep(ns)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(250, lambda: seen.append(engine.now))
+        engine.spawn(self._sleeper(300), name="s")
+        engine.run()
+        assert seen == [250]
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        engine.spawn(self._sleeper(1000), name="s")
+        end = engine.run(until_ns=300)
+        assert end == 300
+        assert engine.now == 300
+
+    def test_run_for_relative_duration(self):
+        engine = Engine()
+        engine.spawn(self._sleeper(10_000), name="s")
+        engine.run_for(100)
+        engine.run_for(100)
+        assert engine.now == 200
+
+
+class TestThreads:
+    def test_thread_result_captured(self):
+        engine = Engine()
+
+        def body():
+            yield Sleep(10)
+            return 42
+
+        thread = engine.spawn(body(), name="w")
+        engine.run()
+        assert thread.finished
+        assert thread.result == 42
+        assert thread.finish_time_ns == 10
+
+    def test_run_ends_when_foreground_done_despite_daemon(self):
+        engine = Engine()
+
+        def daemon():
+            while True:
+                yield Sleep(50)
+
+        def fg():
+            yield Sleep(120)
+
+        engine.spawn(daemon(), name="d", daemon=True)
+        engine.spawn(fg(), name="f")
+        end = engine.run()
+        assert end == 120
+
+    def test_deadlock_detected(self):
+        engine = Engine()
+        event = OneShotEvent("never")
+
+        def blocked():
+            yield WaitEvent(event)
+
+        engine.spawn(blocked(), name="b")
+        with pytest.raises(DeadlockError, match="b"):
+            engine.run()
+
+    def test_spawn_order_is_start_order(self):
+        engine = Engine()
+        order = []
+
+        def body(i):
+            order.append(i)
+            yield Sleep(1)
+
+        for i in range(4):
+            engine.spawn(body(i), name=f"t{i}")
+        engine.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_threads_property_lists_all(self):
+        engine = Engine()
+        engine.spawn(iter([]), name="a")
+        engine.spawn(iter([]), name="b", daemon=True)
+        assert [t.name for t in engine.threads] == ["a", "b"]
+
+    def test_unknown_command_raises(self):
+        engine = Engine()
+
+        def body():
+            yield "bogus"
+
+        engine.spawn(body(), name="bad")
+        with pytest.raises(SimulationError, match="unknown command"):
+            engine.run()
+
+    def test_exception_in_thread_propagates(self):
+        engine = Engine()
+
+        def body():
+            yield Sleep(5)
+            raise ValueError("boom")
+
+        engine.spawn(body(), name="x")
+        with pytest.raises(ValueError, match="boom"):
+            engine.run()
+
+    def test_empty_generator_finishes_immediately(self):
+        engine = Engine()
+        thread = engine.spawn(iter([]), name="e")
+        engine.run()
+        assert thread.finished and thread.result is None
+
+    def test_reentrant_run_rejected(self):
+        engine = Engine()
+
+        def body():
+            with pytest.raises(SimulationError):
+                engine.run()
+            yield Sleep(1)
+
+        engine.spawn(body(), name="r")
+        engine.run()

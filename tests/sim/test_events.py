@@ -1,0 +1,201 @@
+"""Events, wakers and barriers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import (
+    Barrier,
+    OneShotEvent,
+    Sleep,
+    WaitEvent,
+    Waker,
+    WaitWaker,
+)
+
+
+class TestOneShotEvent:
+    def test_waiters_resume_with_value(self):
+        engine = Engine()
+        event = OneShotEvent("e")
+        got = []
+
+        def waiter():
+            value = yield WaitEvent(event)
+            got.append(value)
+
+        def firer():
+            yield Sleep(100)
+            event.fire("payload")
+
+        engine.spawn(waiter(), name="w")
+        engine.spawn(firer(), name="f")
+        engine.run()
+        assert got == ["payload"]
+
+    def test_late_waiter_resumes_immediately(self):
+        engine = Engine()
+        event = OneShotEvent("e")
+        event.fire(7)
+        got = []
+
+        def waiter():
+            got.append((yield WaitEvent(event)))
+
+        engine.spawn(waiter(), name="w")
+        engine.run()
+        assert got == [7]
+
+    def test_double_fire_rejected(self):
+        event = OneShotEvent("e")
+        event.fire()
+        with pytest.raises(SimulationError):
+            event.fire()
+
+    def test_fire_wakes_all_waiters(self):
+        engine = Engine()
+        event = OneShotEvent("e")
+        got = []
+
+        def waiter(i):
+            yield WaitEvent(event)
+            got.append(i)
+
+        for i in range(4):
+            engine.spawn(waiter(i), name=f"w{i}")
+
+        def firer():
+            yield Sleep(10)
+            event.fire()
+
+        engine.spawn(firer(), name="f")
+        engine.run()
+        assert sorted(got) == [0, 1, 2, 3]
+
+    def test_value_and_fired_accessors(self):
+        event = OneShotEvent("e")
+        assert not event.fired and event.value is None
+        event.fire("x")
+        assert event.fired and event.value == "x"
+
+
+class TestWaker:
+    def test_wake_resumes_waiting_thread(self):
+        engine = Engine()
+        waker = Waker("k")
+        ticks = []
+
+        def daemon():
+            while True:
+                yield WaitWaker(waker)
+                ticks.append(engine.now)
+
+        def producer():
+            yield Sleep(100)
+            waker.wake()
+            yield Sleep(100)
+            waker.wake()
+            yield Sleep(10)
+
+        engine.spawn(daemon(), name="d", daemon=True)
+        engine.spawn(producer(), name="p")
+        engine.run()
+        assert ticks == [100, 200]
+
+    def test_wake_latches_when_nobody_waits(self):
+        engine = Engine()
+        waker = Waker("k")
+        waker.wake()
+        assert waker.pending
+        passed = []
+
+        def daemon():
+            yield WaitWaker(waker)  # consumes the latched wake
+            passed.append(engine.now)
+
+        engine.spawn(daemon(), name="d")
+        engine.run()
+        assert passed == [0]
+        assert not waker.pending
+
+    def test_second_waiter_rejected(self):
+        engine = Engine()
+        waker = Waker("k")
+
+        def daemon():
+            yield WaitWaker(waker)
+
+        engine.spawn(daemon(), name="d1")
+        engine.spawn(daemon(), name="d2")
+        with pytest.raises(SimulationError, match="already has waiter"):
+            engine.run()
+
+
+class TestBarrier:
+    def test_all_parties_released_together(self):
+        engine = Engine()
+        barrier = Barrier(3, "b")
+        released = []
+
+        def body(i, delay):
+            yield Sleep(delay)
+            yield from barrier.wait()
+            released.append((i, engine.now))
+
+        engine.spawn(body(0, 10), name="t0")
+        engine.spawn(body(1, 50), name="t1")
+        engine.spawn(body(2, 90), name="t2")
+        engine.run()
+        assert [t for _, t in released] == [90, 90, 90]
+
+    def test_barrier_is_reusable(self):
+        engine = Engine()
+        barrier = Barrier(2, "b")
+        rounds = []
+
+        def body(i):
+            for r in range(3):
+                yield Sleep(10 * (i + 1))
+                yield from barrier.wait()
+                rounds.append((r, i))
+
+        engine.spawn(body(0), name="t0")
+        engine.spawn(body(1), name="t1")
+        engine.run()
+        assert barrier.generation == 3
+        assert len(rounds) == 6
+
+    def test_single_party_barrier_never_blocks(self):
+        engine = Engine()
+        barrier = Barrier(1, "solo")
+
+        def body():
+            yield from barrier.wait()
+            yield from barrier.wait()
+            return engine.now
+
+        t = engine.spawn(body(), name="s")
+        engine.run()
+        assert t.result == 0
+        assert barrier.generation == 2
+
+    def test_zero_party_barrier_rejected(self):
+        with pytest.raises(SimulationError):
+            Barrier(0)
+
+    def test_n_waiting_counts_blocked_threads(self):
+        engine = Engine()
+        barrier = Barrier(2, "b")
+
+        def early():
+            yield from barrier.wait()
+
+        def late():
+            yield Sleep(100)
+            assert barrier.n_waiting == 1
+            yield from barrier.wait()
+
+        engine.spawn(early(), name="e")
+        engine.spawn(late(), name="l")
+        engine.run()
+        assert barrier.n_waiting == 0

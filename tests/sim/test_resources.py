@@ -1,0 +1,88 @@
+"""FIFO resources: capacity, queueing order, handover."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Sleep
+from repro.sim.resources import FifoResource
+
+
+def holder(resource, hold_ns, log, label, engine):
+    yield from resource.acquire()
+    log.append(("acq", label, engine.now))
+    yield Sleep(hold_ns)
+    resource.release()
+    log.append(("rel", label, engine.now))
+
+
+class TestFifoResource:
+    def test_capacity_one_serializes(self):
+        engine = Engine()
+        res = FifoResource(1, "r")
+        log = []
+        for i in range(3):
+            engine.spawn(holder(res, 100, log, i, engine), name=f"h{i}")
+        engine.run()
+        acquires = [(lbl, t) for kind, lbl, t in log if kind == "acq"]
+        assert acquires == [(0, 0), (1, 100), (2, 200)]
+
+    def test_capacity_n_allows_concurrency(self):
+        engine = Engine()
+        res = FifoResource(2, "r")
+        log = []
+        for i in range(4):
+            engine.spawn(holder(res, 100, log, i, engine), name=f"h{i}")
+        engine.run()
+        acquires = [t for kind, _, t in log if kind == "acq"]
+        assert acquires == [0, 0, 100, 100]
+
+    def test_fifo_grant_order(self):
+        engine = Engine()
+        res = FifoResource(1, "r")
+        order = []
+
+        def body(i, delay):
+            yield Sleep(delay)
+            yield from res.acquire()
+            order.append(i)
+            yield Sleep(50)
+            res.release()
+
+        for i, d in enumerate([0, 1, 2, 3]):
+            engine.spawn(body(i, d), name=f"b{i}")
+        engine.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_acquire_rejected(self):
+        res = FifoResource(1, "r")
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            FifoResource(0)
+
+    def test_queue_length_and_in_use(self):
+        engine = Engine()
+        res = FifoResource(1, "r")
+        snapshots = []
+
+        def observer():
+            yield Sleep(50)
+            snapshots.append((res.in_use, res.queue_length))
+
+        for i in range(3):
+            engine.spawn(holder(res, 100, [], i, engine), name=f"h{i}")
+        engine.spawn(observer(), name="o")
+        engine.run()
+        assert snapshots == [(1, 2)]
+
+    def test_total_acquisitions_counted(self):
+        engine = Engine()
+        res = FifoResource(2, "r")
+        for i in range(5):
+            engine.spawn(holder(res, 10, [], i, engine), name=f"h{i}")
+        engine.run()
+        assert res.total_acquisitions == 5
+        assert res.in_use == 0

@@ -1,0 +1,61 @@
+"""LZO-RLE size model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import PAGE_SIZE
+from repro.swapdev.compression import (
+    MIN_STORED_SIZE,
+    RAW_STORED_SIZE,
+    expected_ratio,
+    lzo_rle_compressed_size,
+)
+
+
+class TestSizeModel:
+    def test_zero_page_compresses_to_floor(self):
+        rng = np.random.default_rng(0)
+        sizes = [lzo_rle_compressed_size(0.0, rng) for _ in range(50)]
+        assert all(s <= PAGE_SIZE // 8 for s in sizes)
+        assert all(s >= MIN_STORED_SIZE for s in sizes)
+
+    def test_typical_data_compresses_2x_to_4x(self):
+        rng = np.random.default_rng(0)
+        sizes = [lzo_rle_compressed_size(0.45, rng) for _ in range(500)]
+        ratio = PAGE_SIZE / np.mean(sizes)
+        assert 2.0 < ratio < 5.0
+
+    def test_incompressible_mostly_stored_raw(self):
+        rng = np.random.default_rng(0)
+        sizes = [lzo_rle_compressed_size(1.0, rng) for _ in range(200)]
+        raw = sum(1 for s in sizes if s == RAW_STORED_SIZE)
+        assert raw / len(sizes) > 0.6
+        assert min(sizes) > PAGE_SIZE * 0.75  # never meaningfully smaller
+
+    def test_entropy_clamped(self):
+        rng = np.random.default_rng(0)
+        assert lzo_rle_compressed_size(-1.0, rng) >= MIN_STORED_SIZE
+        assert lzo_rle_compressed_size(2.0, rng) > PAGE_SIZE * 0.75
+
+    def test_expected_ratio_monotone_decreasing(self):
+        ratios = [expected_ratio(e) for e in np.linspace(0, 1, 11)]
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[0] > 10
+        assert ratios[-1] == pytest.approx(1.0, rel=0.05)
+
+    @settings(max_examples=60, deadline=None)
+    @given(entropy=st.floats(0, 1), seed=st.integers(0, 1000))
+    def test_sizes_always_in_valid_range(self, entropy, seed):
+        rng = np.random.default_rng(seed)
+        size = lzo_rle_compressed_size(entropy, rng)
+        assert MIN_STORED_SIZE <= size <= RAW_STORED_SIZE
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_mean_size_monotone_in_entropy(self, seed):
+        rng = np.random.default_rng(seed)
+        low = np.mean([lzo_rle_compressed_size(0.2, rng) for _ in range(200)])
+        high = np.mean([lzo_rle_compressed_size(0.7, rng) for _ in range(200)])
+        assert low < high

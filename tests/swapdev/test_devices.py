@@ -1,0 +1,143 @@
+"""Swap devices: latency magnitudes, queueing, pool accounting."""
+
+import numpy as np
+import pytest
+
+from repro._units import MS, US
+from repro.errors import SwapFullError
+from repro.mm.costs import SSDCosts, ZRAMCosts
+from repro.mm.page import Page
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine
+from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+
+
+def drive(engine, device, ops, cpu=None):
+    """Run read/write ops on one thread; return elapsed ns."""
+
+    def body():
+        for op, page in ops:
+            if op == "r":
+                yield from device.read(page)
+            else:
+                yield from device.write(page)
+
+    thread = engine.spawn(body(), name="io")
+    if cpu is not None:
+        thread.cpu = cpu
+    return engine.run()
+
+
+class TestSSD:
+    def test_read_latency_magnitude(self):
+        engine = Engine()
+        device = SSDSwapDevice(engine, np.random.default_rng(0))
+        elapsed = drive(engine, device, [("r", Page(0))])
+        assert 4 * MS < elapsed < 15 * MS  # ~7.5ms with jitter
+
+    def test_stats_counted(self):
+        engine = Engine()
+        device = SSDSwapDevice(engine, np.random.default_rng(0))
+        drive(engine, device, [("r", Page(0)), ("w", Page(1)), ("w", Page(2))])
+        assert device.stats.reads == 1
+        assert device.stats.writes == 2
+        assert device.stats.read_wait_ns > 0
+
+    def test_queue_depth_limits_concurrency(self):
+        engine = Engine()
+        costs = SSDCosts(jitter_sigma=0.0, queue_depth=2)
+        device = SSDSwapDevice(engine, np.random.default_rng(0), costs)
+
+        def body(i):
+            yield from device.read(Page(i))
+
+        for i in range(6):
+            engine.spawn(body(i), name=f"io{i}")
+        elapsed = engine.run()
+        # 6 reads, 2 at a time, 7.5ms each -> 3 waves.
+        assert elapsed == pytest.approx(3 * costs.read_ns, rel=0.01)
+
+    def test_no_jitter_is_exact(self):
+        engine = Engine()
+        costs = SSDCosts(jitter_sigma=0.0)
+        device = SSDSwapDevice(engine, np.random.default_rng(0), costs)
+        elapsed = drive(engine, device, [("r", Page(0))])
+        assert elapsed == costs.read_ns
+
+    def test_describe(self):
+        device = SSDSwapDevice(Engine(), np.random.default_rng(0))
+        assert "ssd" in device.describe()
+
+
+class TestZRAM:
+    def _device(self, **kwargs):
+        return ZRAMSwapDevice(np.random.default_rng(0), **kwargs)
+
+    def test_latencies_are_cpu_work(self):
+        """ZRAM I/O is Compute: it needs a CPU and dilates under load."""
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device(costs=ZRAMCosts(jitter_sigma=0.0))
+        elapsed = drive(
+            engine, device, [("w", Page(0)), ("r", Page(0))], cpu=cpu
+        )
+        assert elapsed == pytest.approx(20 * US + 35 * US, rel=0.01)
+
+    def test_pool_accounting(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device()
+        pages = [Page(v, entropy=0.4) for v in range(10)]
+        drive(engine, device, [("w", p) for p in pages], cpu=cpu)
+        assert device.stored_pages == 10
+        assert device.pool_bytes > 0
+        assert device.mean_compression_ratio() > 1.5
+
+    def test_discard_releases_bytes(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device()
+        page = Page(0, entropy=0.4)
+        drive(engine, device, [("w", page)], cpu=cpu)
+        stored = device.pool_bytes
+        device.discard(page)
+        assert device.pool_bytes == 0
+        assert stored > 0
+
+    def test_rewrite_replaces_not_accumulates(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device()
+        page = Page(0, entropy=0.4)
+        drive(engine, device, [("w", page), ("w", page)], cpu=cpu)
+        assert device.stored_pages == 1
+
+    def test_pool_limit_enforced(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device(pool_limit_bytes=1500)
+        page_a = Page(0, entropy=0.5)
+        page_b = Page(1, entropy=0.5)
+        drive(engine, device, [("w", page_a)], cpu=cpu)
+        with pytest.raises(SwapFullError):
+            drive(Engine(), device, [("w", page_b)])
+
+    def test_read_keeps_pool_copy(self):
+        """Swap-cache semantics: a read leaves the compressed copy."""
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device()
+        page = Page(0, entropy=0.4)
+        drive(engine, device, [("w", page), ("r", page)], cpu=cpu)
+        assert device.stored_pages == 1
+
+    def test_peak_tracking(self):
+        engine = Engine()
+        cpu = CPU(engine, 1)
+        device = self._device()
+        pages = [Page(v, entropy=0.5) for v in range(5)]
+        drive(engine, device, [("w", p) for p in pages], cpu=cpu)
+        for p in pages:
+            device.discard(p)
+        assert device.pool_bytes == 0
+        assert device.pool_peak_bytes > 0

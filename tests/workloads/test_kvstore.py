@@ -1,0 +1,67 @@
+"""Slab KV store layout."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.kvstore import KVStore
+
+
+def store(n_items=4000, value_bytes=940, seed=0):
+    return KVStore(n_items, value_bytes, np.random.default_rng(seed))
+
+
+class TestLayout:
+    def test_items_per_page(self):
+        s = store()
+        assert s.items_per_page == 4  # 4096 // (940 + 80)
+
+    def test_footprint(self):
+        s = store()
+        assert s.n_item_pages == 1000
+        assert s.footprint_pages == s.n_item_pages + s.n_index_pages
+
+    def test_item_pages_in_range(self):
+        s = store()
+        keys = np.arange(4000)
+        pages = s.item_pages(keys)
+        assert pages.min() >= 0 and pages.max() < s.n_item_pages
+
+    def test_items_scattered_not_sequential(self):
+        """Hash placement: consecutive keys land on different pages."""
+        s = store()
+        pages = s.item_pages(np.arange(100))
+        runs = np.sum(np.diff(pages) == 0)
+        assert runs < 30  # sequential placement would have ~75 repeats
+
+    def test_each_page_holds_at_most_items_per_page(self):
+        s = store()
+        pages = s.item_pages(np.arange(4000))
+        counts = np.bincount(pages, minlength=s.n_item_pages)
+        assert counts.max() <= s.items_per_page
+
+    def test_index_pages_deterministic(self):
+        s = store()
+        keys = np.arange(100)
+        a = s.index_pages(keys)
+        b = s.index_pages(keys)
+        assert (a == b).all()
+        assert a.min() >= 0 and a.max() < s.n_index_pages
+
+    def test_index_spread(self):
+        s = store()
+        pages = s.index_pages(np.arange(4000))
+        counts = np.bincount(pages, minlength=s.n_index_pages)
+        assert counts.min() > 0  # all index pages used
+
+    def test_layout_deterministic_per_seed(self):
+        a, b = store(seed=2), store(seed=2)
+        keys = np.arange(500)
+        assert (a.item_pages(keys) == b.item_pages(keys)).all()
+
+    def test_bad_args_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            KVStore(0, 940, rng)
+        with pytest.raises(ConfigError):
+            KVStore(10, 5000, rng)

@@ -1,0 +1,154 @@
+"""The three paper workloads, run end-to-end at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.mm.system import MemorySystem
+from repro.policies import make_policy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngTree
+from repro.swapdev import ZRAMSwapDevice
+from repro.workloads import PAPER_WORKLOADS, make_workload
+from repro.workloads.pagerank import PageRankParams, PageRankWorkload
+from repro.workloads.tpch import TPCHParams, TPCHWorkload
+from repro.workloads.ycsb import YCSBParams, YCSBWorkload
+
+
+def run_small(workload, ratio=0.6, seed=3, policy="mglru"):
+    """Run a workload instance on a small ZRAM system (fast)."""
+    engine = Engine()
+    rng = RngTree(seed)
+    footprint = workload.prepare(RngTree(777).subtree("ds", workload.name))
+    system = MemorySystem(
+        engine,
+        rng,
+        make_policy(policy),
+        ZRAMSwapDevice(rng.stream("zram")),
+        capacity_frames=max(64, int(footprint * ratio)),
+        n_cpus=4,
+    )
+    workload.setup(system)
+    system.start()
+    workload.spawn(system)
+    runtime = engine.run()
+    return system, runtime
+
+
+def small_tpch():
+    return TPCHWorkload(
+        TPCHParams(
+            table_pages=96, hash_pages=128, shuffle_pages=64,
+            n_threads=4, n_queries=1,
+        )
+    )
+
+
+def small_pagerank():
+    return PageRankWorkload(
+        PageRankParams(
+            n_vertices=4096, avg_degree=6, n_iterations=3, n_threads=4
+        )
+    )
+
+
+def small_ycsb(mix="a"):
+    return YCSBWorkload(
+        mix, YCSBParams(n_items=1200, n_requests=4000, n_threads=2)
+    )
+
+
+class TestTPCH:
+    def test_runs_to_completion(self):
+        system, runtime = run_small(small_tpch())
+        assert runtime > 0
+        assert system.stats.total_faults > 0
+
+    def test_footprint_matches_layout(self):
+        wl = small_tpch()
+        footprint = wl.prepare(RngTree(1).subtree("x"))
+        assert footprint == 96 + 128 + 64
+
+    def test_balanced_threads_reach_all_barriers(self):
+        wl = small_tpch()
+        system, _ = run_small(wl)
+        result = wl.result()
+        assert result.metrics["stages"] == 5  # one query, five stages
+
+    def test_all_table_pages_touched(self):
+        wl = small_tpch()
+        system, _ = run_small(wl)
+        table = system.address_space.page_table
+        vma = system.address_space.vma("tpch-table")
+        # Every table page was faulted in at least once.
+        assert system.stats.minor_faults >= vma.n_pages
+
+
+class TestPageRank:
+    def test_runs_to_completion(self):
+        wl = small_pagerank()
+        system, runtime = run_small(wl)
+        assert runtime > 0
+        result = wl.result()
+        assert result.metrics["iterations"] == 3
+        assert result.metrics["n_edges"] == 4096 * 6
+
+    def test_thread_work_is_degree_skewed(self):
+        wl = small_pagerank()
+        wl.prepare(RngTree(777).subtree("ds", wl.name))
+        spans = [wl._thread_edge_pages(t) for t in range(4)]
+        widths = [hi - lo for lo, hi in spans]
+        # Thread 0 owns the hubs: far more edge pages than the last.
+        assert widths[0] > widths[-1] * 2
+
+    def test_footprint_covers_csr_and_ranks(self):
+        wl = small_pagerank()
+        footprint = wl.prepare(RngTree(777).subtree("ds", wl.name))
+        g = wl.graph
+        assert footprint == (
+            g.n_offset_pages() + g.n_edge_pages() + 2 * g.n_rank_pages()
+        )
+
+
+class TestYCSB:
+    @pytest.mark.parametrize("mix", ["a", "b", "c"])
+    def test_mixes_run_and_capture_latencies(self, mix):
+        wl = small_ycsb(mix)
+        system, _ = run_small(wl)
+        result = wl.result()
+        assert result.metrics["requests"] == 4000
+        reads = result.latencies_ns.get("read")
+        assert reads is not None and len(reads) > 0
+
+    def test_mix_c_has_no_writes(self):
+        wl = small_ycsb("c")
+        run_small(wl)
+        result = wl.result()
+        assert "write" not in result.latencies_ns
+
+    def test_mix_a_write_share(self):
+        wl = small_ycsb("a")
+        run_small(wl)
+        result = wl.result()
+        writes = len(result.latencies_ns["write"])
+        assert writes == pytest.approx(2000, rel=0.1)
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            YCSBWorkload("z")
+
+
+class TestRegistry:
+    def test_all_paper_workloads_constructible(self):
+        for name in PAPER_WORKLOADS:
+            wl = make_workload(name)
+            assert wl.name == name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload("nope")
+
+    def test_prepare_required_before_spawn(self):
+        wl = small_tpch()
+        with pytest.raises(Exception):
+            wl.spawn(None)

@@ -1,0 +1,69 @@
+"""Zipfian sampler: exactness and skew."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipf:
+    def test_samples_within_range(self):
+        sampler = ZipfSampler(100)
+        out = sampler.sample(np.random.default_rng(0), 10_000)
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_rank_zero_most_popular(self):
+        sampler = ZipfSampler(1000, theta=0.99)
+        out = sampler.sample(np.random.default_rng(0), 50_000)
+        counts = np.bincount(out, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_pmf_matches_empirical(self):
+        sampler = ZipfSampler(50, theta=0.99)
+        out = sampler.sample(np.random.default_rng(0), 200_000)
+        empirical = np.bincount(out, minlength=50) / 200_000
+        for rank in (0, 1, 10, 49):
+            assert empirical[rank] == pytest.approx(sampler.pmf(rank), rel=0.1)
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, theta=0.0)
+        for rank in range(10):
+            assert sampler.pmf(rank) == pytest.approx(0.1)
+
+    def test_hottest_fraction(self):
+        sampler = ZipfSampler(10_000, theta=0.99)
+        # Classic YCSB zipf: a small head carries a large mass.
+        assert sampler.hottest_fraction(100) > 0.4
+        assert sampler.hottest_fraction(10_000) == pytest.approx(1.0)
+
+    def test_permutation_scatters_ranks(self):
+        perm = np.arange(100)[::-1]
+        sampler = ZipfSampler(100, permutation=perm)
+        out = sampler.sample(np.random.default_rng(0), 20_000)
+        counts = np.bincount(out, minlength=100)
+        assert counts[99] == counts.max()  # rank 0 mapped to item 99
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, theta=-1)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, permutation=np.arange(5))
+        with pytest.raises(ConfigError):
+            ZipfSampler(10).pmf(10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 500),
+        theta=st.floats(0.0, 1.5),
+        seed=st.integers(0, 100),
+    )
+    def test_pmf_sums_to_one_and_monotone(self, n, theta, seed):
+        sampler = ZipfSampler(n, theta=theta)
+        pmf = [sampler.pmf(r) for r in range(n)]
+        assert sum(pmf) == pytest.approx(1.0)
+        assert all(a >= b - 1e-12 for a, b in zip(pmf, pmf[1:]))
