@@ -1,0 +1,139 @@
+"""Hot-path microbenchmark: accesses/second on the PageRank@50% cell.
+
+Runs the single most access-heavy cell of the paper grid — PageRank on
+MG-LRU over SSD at 50% capacity — and reports simulated page accesses
+(hits + faults) per wall-clock second, with the vectorized resident
+fast path on and off.  Writes ``benchmarks/output/BENCH_hotpath.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--rounds N]
+        [--skip-slow] [--output PATH]
+
+Not a pytest-benchmark module on purpose: the figure benchmarks measure
+*what* the simulator reproduces, this measures *how fast*, and CI wants
+a plain script with a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+
+#: Seed-revision throughput of this cell (accesses/sec, measured on the
+#: pre-fast-path scalar loop) — the reference for the speedup ratio
+#: reported in the JSON.  Re-measure with ``--rounds`` + ``fast=off``
+#: on your own hardware for an apples-to-apples comparison there.
+SEED_BASELINE_ACC_PER_SEC = 753_745
+
+CELL = dict(workload="pagerank", policy="mglru", swap="ssd", ratio=0.5)
+SEED = 10_000
+
+
+def _one_trial(fast: bool) -> tuple[float, int]:
+    """(wall seconds, simulated accesses) for one trial of the cell."""
+    config = SystemConfig(
+        policy=CELL["policy"], swap=CELL["swap"], capacity_ratio=CELL["ratio"]
+    )
+    t0 = time.perf_counter()
+    prev = os.environ.get("REPRO_FAST_ACCESS")
+    os.environ["REPRO_FAST_ACCESS"] = "1" if fast else "0"
+    try:
+        trial = run_trial(CELL["workload"], config, SEED)
+    finally:
+        if prev is None:
+            del os.environ["REPRO_FAST_ACCESS"]
+        else:
+            os.environ["REPRO_FAST_ACCESS"] = prev
+    wall = time.perf_counter() - t0
+    accesses = (
+        trial.counters["hits"] + trial.major_faults + trial.minor_faults
+    )
+    return wall, accesses
+
+
+def _measure(fast: bool, rounds: int) -> dict:
+    walls = []
+    accesses = 0
+    for _ in range(rounds):
+        wall, accesses = _one_trial(fast)
+        walls.append(wall)
+    best = min(walls)
+    return {
+        "rounds": rounds,
+        "wall_seconds": walls,
+        "best_wall_seconds": best,
+        "accesses": accesses,
+        "accesses_per_sec": accesses / best,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="trials per configuration; best wall time wins (default 3)",
+    )
+    parser.add_argument(
+        "--skip-slow", action="store_true",
+        help="skip the fast-path-off reference measurement",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent / "output" / "BENCH_hotpath.json",
+    )
+    args = parser.parse_args(argv)
+    rounds = max(1, args.rounds)
+
+    # Warm-up trial: populates the module-level dataset/trace caches so
+    # round 1 is not charged graph construction.
+    print(f"cell: {CELL}, seed {SEED}; warming up...", flush=True)
+    _one_trial(fast=True)
+
+    fast = _measure(fast=True, rounds=rounds)
+    print(
+        f"fast path ON : {fast['best_wall_seconds']:.3f}s best of {rounds}, "
+        f"{fast['accesses_per_sec']:,.0f} acc/s",
+        flush=True,
+    )
+    report = {
+        "cell": CELL,
+        "seed": SEED,
+        "seed_baseline_acc_per_sec": SEED_BASELINE_ACC_PER_SEC,
+        "fast_on": fast,
+        "speedup_vs_seed_baseline": (
+            fast["accesses_per_sec"] / SEED_BASELINE_ACC_PER_SEC
+        ),
+    }
+    if not args.skip_slow:
+        slow = _measure(fast=False, rounds=rounds)
+        print(
+            f"fast path OFF: {slow['best_wall_seconds']:.3f}s best of "
+            f"{rounds}, {slow['accesses_per_sec']:,.0f} acc/s",
+            flush=True,
+        )
+        report["fast_off"] = slow
+        report["speedup_vs_fast_off"] = (
+            fast["accesses_per_sec"] / slow["accesses_per_sec"]
+        )
+    print(
+        f"speedup vs seed baseline ({SEED_BASELINE_ACC_PER_SEC:,} acc/s): "
+        f"{report['speedup_vs_seed_baseline']:.2f}x"
+    )
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

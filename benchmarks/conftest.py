@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import warnings
 
 import pytest
 
@@ -29,9 +30,13 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 def _env_int(name: str, default: int) -> int:
     try:
-        return int(os.environ.get(name, default))
+        value = int(os.environ.get(name, default))
     except ValueError:
         return default
+    if value < 0:
+        warnings.warn(f"{name}={value} is negative; using default {default}")
+        return default
+    return value
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,9 @@ so figure generators can share measurements.
 
 from __future__ import annotations
 
+import os
+import warnings
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.config import ExperimentConfig, SystemConfig
@@ -95,23 +98,52 @@ def run_trial(
     )
 
 
+def _jobs_from_env() -> int:
+    """Parse the ``REPRO_JOBS`` knob (default 1 = serial).
+
+    Values below 1 and non-integers fall back to serial with a warning
+    rather than erroring mid-sweep.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(raw)
+    except ValueError:
+        warnings.warn(f"REPRO_JOBS={raw!r} is not an integer; running serial")
+        return 1
+    if jobs < 1:
+        warnings.warn(f"REPRO_JOBS={jobs} < 1; running serial")
+        return 1
+    return jobs
+
+
 class ExperimentRunner:
-    """Runs experiment cells with caching and optional progress callbacks."""
+    """Runs experiment cells with caching and optional progress callbacks.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` env var, itself defaulting to
+    1) fans trials out over a process pool.  Each trial is an
+    independent ``run_trial(workload, system, seed)`` call with seeds
+    derived exactly as in the serial loop, and results are assembled in
+    seed order — serial and parallel runs produce identical
+    :class:`ExperimentResult`\\ s.
+    """
 
     def __init__(
         self,
         progress: Optional[Callable[[str], None]] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self._cache: Dict[tuple, ExperimentResult] = {}
         self._progress = progress
+        self.jobs = _jobs_from_env() if jobs is None else max(1, int(jobs))
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     def _note(self, message: str) -> None:
         if self._progress is not None:
             self._progress(message)
 
-    def run(self, config: ExperimentConfig) -> ExperimentResult:
-        """Run (or fetch from cache) all trials of one cell."""
-        key = (
+    @staticmethod
+    def _key(config: ExperimentConfig) -> tuple:
+        return (
             config.workload,
             config.system.policy,
             config.system.swap,
@@ -119,20 +151,96 @@ class ExperimentRunner:
             config.n_trials,
             config.base_seed,
         )
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (safe to call when serial/unused)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _assemble(
+        self,
+        config: ExperimentConfig,
+        trials: Iterable[TrialResult],
+    ) -> ExperimentResult:
         result = ExperimentResult(
             workload=config.workload,
             policy=config.system.policy,
             swap=config.system.swap,
             capacity_ratio=config.system.capacity_ratio,
         )
-        for i, seed in enumerate(config.seeds()):
-            self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
-            result.add(run_trial(config.workload, config.system, seed))
+        for trial in trials:
+            result.add(trial)
+        return result
+
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Run (or fetch from cache) all trials of one cell."""
+        key = self._key(config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        seeds = list(config.seeds())
+        trials: List[TrialResult] = []
+        if self.jobs > 1 and len(seeds) > 1:
+            futures = [
+                self._ensure_pool().submit(
+                    run_trial, config.workload, config.system, seed
+                )
+                for seed in seeds
+            ]
+            for i, future in enumerate(futures):
+                trials.append(future.result())
+                self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
+        else:
+            for i, seed in enumerate(seeds):
+                self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
+                trials.append(run_trial(config.workload, config.system, seed))
+        result = self._assemble(config, trials)
         self._cache[key] = result
         return result
+
+    def run_many(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> List[ExperimentResult]:
+        """Run several cells, fanning *all* their trials over the pool.
+
+        With ``jobs > 1`` every (cell, seed) pair is submitted up front
+        so the pool never drains between cells; results are assembled in
+        submission order, identical to running each cell serially.
+        """
+        configs = list(configs)
+        if self.jobs <= 1:
+            return [self.run(config) for config in configs]
+        pending: Dict[tuple, tuple] = {}
+        for config in configs:
+            key = self._key(config)
+            if key in self._cache or key in pending:
+                continue
+            futures: List[Future] = [
+                self._ensure_pool().submit(
+                    run_trial, config.workload, config.system, seed
+                )
+                for seed in config.seeds()
+            ]
+            pending[key] = (config, futures)
+        for key, (config, futures) in pending.items():
+            trials = []
+            for i, future in enumerate(futures):
+                trials.append(future.result())
+                self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
+            self._cache[key] = self._assemble(config, trials)
+        return [self._cache[self._key(config)] for config in configs]
 
     def run_grid(
         self,
@@ -145,16 +253,16 @@ class ExperimentRunner:
     ) -> List[ExperimentResult]:
         """Run the cross product of workloads × policies at one
         (swap, ratio) point — the shape of most paper figures."""
-        results = []
-        for workload in workloads:
-            for policy in policies:
-                config = ExperimentConfig(
-                    workload=workload,
-                    system=SystemConfig(
-                        policy=policy, swap=swap, capacity_ratio=capacity_ratio
-                    ),
-                    n_trials=n_trials,
-                    base_seed=base_seed,
-                )
-                results.append(self.run(config))
-        return results
+        configs = [
+            ExperimentConfig(
+                workload=workload,
+                system=SystemConfig(
+                    policy=policy, swap=swap, capacity_ratio=capacity_ratio
+                ),
+                n_trials=n_trials,
+                base_seed=base_seed,
+            )
+            for workload in workloads
+            for policy in policies
+        ]
+        return self.run_many(configs)

@@ -41,13 +41,16 @@ class Page:
     __slots__ = (
         "vpn",
         "kind",
-        "present",
+        "_present",
         "frame",
-        "accessed",
-        "dirty",
+        "_accessed",
+        "_dirty",
         "region",
         "swap_slot",
         "entropy",
+        # flat PTE-state view (see mm/page_table.PTEFlatState)
+        "_flat",
+        "_flat_idx",
         # policy fields
         "gen_seq",
         "tier",
@@ -68,14 +71,11 @@ class Page:
         #: Virtual page number within the owning address space.
         self.vpn = vpn
         self.kind = kind
-        #: True when mapped to a physical frame.
-        self.present = False
+        self._present = False
         #: Physical frame number, or None when not present.
         self.frame: Optional[int] = None
-        #: Hardware "accessed" bit: set on access, cleared by scans.
-        self.accessed = False
-        #: Hardware "dirty" bit: set on write, cleared by writeback.
-        self.dirty = False
+        self._accessed = False
+        self._dirty = False
         #: Leaf page-table region containing this page's PTE.
         self.region: Optional["PageTableRegion"] = None
         #: Swap slot index if the page's contents live on swap.
@@ -83,6 +83,11 @@ class Page:
         #: Compressibility proxy in [0, 1] (0 = all zeros, 1 = random);
         #: used by the ZRAM size model.
         self.entropy = entropy
+
+        # Backpointer into the page table's dense PTE-state arrays; None
+        # until the table builds its flat view the first time.
+        self._flat = None
+        self._flat_idx = 0
 
         # -- replacement-policy state ----------------------------------
         #: MG-LRU: absolute generation sequence number.
@@ -97,6 +102,62 @@ class Page:
         self._ilist_prev = None
         self._ilist_next = None
         self._ilist_owner: Optional["IntrusiveList"] = None
+
+    # ------------------------------------------------------------------
+    # PTE bits
+    #
+    # Once the owning page table has built its flat view (the dense
+    # numpy arrays the vectorized access path operates on), *accessed*
+    # and *dirty* live in those arrays — bulk writes by the fast path
+    # must stay visible to scalar readers like the eviction re-check.
+    # *present* stays attribute-resident for cheap scalar reads (it is
+    # read far more often than written) and is mirrored into the array
+    # on every transition; the fast path never writes it in bulk.
+    # ------------------------------------------------------------------
+
+    @property
+    def present(self) -> bool:
+        """True when mapped to a physical frame."""
+        return self._present
+
+    @present.setter
+    def present(self, value: bool) -> None:
+        self._present = value
+        flat = self._flat
+        if flat is not None:
+            flat.present[self._flat_idx] = value
+
+    @property
+    def accessed(self) -> bool:
+        """Hardware "accessed" bit: set on access, cleared by scans."""
+        flat = self._flat
+        if flat is None:
+            return self._accessed
+        return bool(flat.accessed[self._flat_idx])
+
+    @accessed.setter
+    def accessed(self, value: bool) -> None:
+        flat = self._flat
+        if flat is None:
+            self._accessed = value
+        else:
+            flat.accessed[self._flat_idx] = value
+
+    @property
+    def dirty(self) -> bool:
+        """Hardware "dirty" bit: set on write, cleared by writeback."""
+        flat = self._flat
+        if flat is None:
+            return self._dirty
+        return bool(flat.dirty[self._flat_idx])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        flat = self._flat
+        if flat is None:
+            self._dirty = value
+        else:
+            flat.dirty[self._flat_idx] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "present" if self.present else (

@@ -13,11 +13,94 @@ iterates.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator, List, Optional
+
+import numpy as np
 
 from repro._units import PTES_PER_REGION
 from repro.errors import SimulationError
 from repro.mm.page import Page
+
+
+class PTEFlatState:
+    """Dense, vectorizable mirror of every mapped PTE's state.
+
+    One entry per mapped page, in VPN order.  ``present``/``accessed``/
+    ``dirty`` are the authoritative storage for the PTE bits once built
+    (scalar reads and writes go through :class:`Page` properties into
+    these arrays), which lets the access fast path test presence and set
+    accessed/dirty bits for a whole run of pages with numpy operations.
+
+    ``run_starts``/``run_lens``/``run_base`` describe the maximal runs
+    of contiguous VPNs, so vpn→index translation is one ``searchsorted``
+    per access batch instead of one dict lookup per page.
+    """
+
+    __slots__ = (
+        "pages",
+        "vpns",
+        "present",
+        "accessed",
+        "dirty",
+        "run_starts",
+        "run_lens",
+        "run_base",
+        "_memo",
+    )
+
+    def __init__(
+        self,
+        pages: np.ndarray,
+        vpns: np.ndarray,
+        present: np.ndarray,
+        accessed: np.ndarray,
+        dirty: np.ndarray,
+        run_starts: np.ndarray,
+        run_lens: np.ndarray,
+        run_base: np.ndarray,
+    ) -> None:
+        self.pages = pages
+        self.vpns = vpns
+        self.present = present
+        self.accessed = accessed
+        self.dirty = dirty
+        self.run_starts = run_starts
+        self.run_lens = run_lens
+        self.run_base = run_base
+        #: id(trace) → (weakref, indices): workloads replay the same
+        #: trace arrays every iteration, so translation is memoized.  The
+        #: weakref guards against id reuse after deallocation; traces
+        #: must not be mutated in place (none are).
+        self._memo: dict = {}
+
+    def translate(self, vpns: np.ndarray) -> Optional[np.ndarray]:
+        """Flat indices for *vpns*, or ``None`` if any VPN is unmapped.
+
+        ``None`` sends the caller down the scalar slow path, which
+        reproduces the exact prefix-processing and error semantics of a
+        faulting lookup.
+        """
+        if vpns.size == 0:
+            return vpns.astype(np.intp)
+        key = id(vpns)
+        hit = self._memo.get(key)
+        if hit is not None and hit[0]() is vpns:
+            return hit[1]
+        run_starts = self.run_starts
+        if run_starts.size == 0:
+            return None
+        pos = np.searchsorted(run_starts, vpns, side="right") - 1
+        if pos.min() < 0:
+            return None
+        offs = vpns - run_starts[pos]
+        if np.any(offs >= self.run_lens[pos]):
+            return None
+        idx = self.run_base[pos] + offs
+        if len(self._memo) > 256:
+            self._memo.clear()
+        self._memo[key] = (weakref.ref(vpns), idx)
+        return idx
 
 
 class PageTableRegion:
@@ -28,13 +111,31 @@ class PageTableRegion:
     cannot know a PTE is empty without reading it.
     """
 
-    __slots__ = ("index", "pages", "_by_offset")
+    __slots__ = ("index", "pages", "_by_offset", "_flat_cache")
 
     def __init__(self, index: int) -> None:
         #: Region number: covers VPNs [index*512, (index+1)*512).
         self.index = index
         self.pages: List[Page] = []
         self._by_offset: dict[int, Page] = {}
+        self._flat_cache: Optional[tuple] = None
+
+    def flat_indices(self, flat: "PTEFlatState") -> np.ndarray:
+        """Flat-state indices of this region's pages, in ``pages`` order.
+
+        Cached per flat build (the tuple's first element identifies the
+        build); a remap invalidates by producing a new flat object.
+        """
+        cache = self._flat_cache
+        if cache is not None and cache[0] is flat:
+            return cache[1]
+        idx = np.fromiter(
+            (p._flat_idx for p in self.pages),
+            dtype=np.intp,
+            count=len(self.pages),
+        )
+        self._flat_cache = (flat, idx)
+        return idx
 
     @property
     def start_vpn(self) -> int:
@@ -70,6 +171,8 @@ class PageTable:
     def __init__(self) -> None:
         self._regions: dict[int, PageTableRegion] = {}
         self._pages: dict[int, Page] = {}
+        self._flat: Optional[PTEFlatState] = None
+        self._flat_stale = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,6 +189,55 @@ class PageTable:
             self._regions[index] = region
         region.add(page)
         self._pages[page.vpn] = page
+        if self._flat is not None:
+            self._flat_stale = True
+
+    # ------------------------------------------------------------------
+    # Flat PTE state (vectorized access path)
+    # ------------------------------------------------------------------
+
+    def flat_view(self) -> PTEFlatState:
+        """The dense PTE-state mirror, (re)built lazily after mapping."""
+        flat = self._flat
+        if flat is not None and not self._flat_stale:
+            return flat
+        return self._build_flat()
+
+    def _build_flat(self) -> PTEFlatState:
+        page_list = sorted(self._pages.values(), key=lambda p: p.vpn)
+        n = len(page_list)
+        pages = np.empty(n, dtype=object)
+        vpns = np.empty(n, dtype=np.int64)
+        present = np.empty(n, dtype=bool)
+        accessed = np.empty(n, dtype=bool)
+        dirty = np.empty(n, dtype=bool)
+        for i, page in enumerate(page_list):
+            pages[i] = page
+            vpns[i] = page.vpn
+            # Read through the properties: values may live in a previous
+            # flat build's arrays or still in the page attributes.
+            present[i] = page.present
+            accessed[i] = page.accessed
+            dirty[i] = page.dirty
+        if n:
+            breaks = np.flatnonzero(np.diff(vpns) != 1)
+            run_base = np.concatenate(([0], breaks + 1))
+            run_starts = vpns[run_base]
+            run_lens = np.diff(np.concatenate((run_base, [n])))
+        else:
+            run_base = np.empty(0, dtype=np.int64)
+            run_starts = np.empty(0, dtype=np.int64)
+            run_lens = np.empty(0, dtype=np.int64)
+        flat = PTEFlatState(
+            pages, vpns, present, accessed, dirty,
+            run_starts, run_lens, run_base,
+        )
+        for i, page in enumerate(page_list):
+            page._flat = flat
+            page._flat_idx = i
+        self._flat = flat
+        self._flat_stale = False
+        return flat
 
     # ------------------------------------------------------------------
     # Lookup and iteration

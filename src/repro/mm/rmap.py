@@ -25,6 +25,11 @@ from repro.mm.page import Page
 class ReverseMap:
     """frame number → :class:`Page`, plus walk-cost sampling."""
 
+    #: Jitter samples drawn per bulk RNG call.  numpy's ``exponential``
+    #: consumes the bit stream identically whether drawn one at a time or
+    #: in a batch, so pooling preserves per-seed reproducibility exactly.
+    JITTER_POOL = 4096
+
     def __init__(
         self,
         rng: np.random.Generator,
@@ -37,6 +42,8 @@ class ReverseMap:
         self.walk_jitter_ns = walk_jitter_ns
         #: Total rmap walks performed (each is one accessed-bit check).
         self.walk_count = 0
+        self._jitter_pool: Optional[np.ndarray] = None
+        self._jitter_pos = 0
 
     # ------------------------------------------------------------------
     # Mapping maintenance (fault / reclaim paths)
@@ -71,7 +78,16 @@ class ReverseMap:
 
         Base cost plus exponentially distributed jitter: rmap chains have
         geometric length and each link is a dependent cache miss.
+        Samples come from a pre-drawn pool (one bulk ``exponential`` call
+        instead of N scalar draws); the stream order is unchanged.
         """
         self.walk_count += 1
-        jitter = self._rng.exponential(self.walk_jitter_ns)
-        return int(self.walk_base_ns + jitter)
+        pos = self._jitter_pos
+        pool = self._jitter_pool
+        if pool is None or pos >= pool.shape[0]:
+            pool = self._jitter_pool = self._rng.exponential(
+                self.walk_jitter_ns, size=self.JITTER_POOL
+            )
+            pos = 0
+        self._jitter_pos = pos + 1
+        return int(self.walk_base_ns + pool[pos])

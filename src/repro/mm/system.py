@@ -23,6 +23,7 @@ what the paper's read/write tail-latency splits come from.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, Iterator, Optional, Sequence
 
 import numpy as np
@@ -63,6 +64,7 @@ class MemorySystem:
         costs: CostModel = CostModel(),
         swap_slots: Optional[int] = None,
         compute_quantum_ns: int = 64 * US,
+        fast_access: Optional[bool] = None,
     ) -> None:
         if capacity_frames < 16:
             raise ConfigError("need at least 16 frames of capacity")
@@ -84,6 +86,13 @@ class MemorySystem:
         self.policy = policy
         self.stats = MMStats()
         self.compute_quantum_ns = compute_quantum_ns
+        #: Vectorized resident-access fast path.  On by default; set the
+        #: ``REPRO_FAST_ACCESS=0`` env var (or pass ``fast_access=False``)
+        #: to force the scalar reference path.  Both produce bit-identical
+        #: simulations — the toggle exists for A/B verification.
+        if fast_access is None:
+            fast_access = os.environ.get("REPRO_FAST_ACCESS", "1") != "0"
+        self.fast_access = bool(fast_access)
 
         self._kswapd_waker = Waker("kswapd")
         self._inflight_faults: Dict[Page, OneShotEvent] = {}
@@ -130,9 +139,37 @@ class MemorySystem:
 
         Present pages cost only accumulated compute (yielded in quanta so
         daemon threads can interleave); a miss flushes pending compute
-        and runs the fault path.  This is the simulator's hot loop: keep
-        it allocation-free.
+        and runs the fault path.  This is the simulator's hot loop.
+
+        VPN arrays take the vectorized fast path: presence is tested and
+        accessed/dirty bits are set per quantum-sized chunk with numpy
+        operations on the page table's flat PTE state, falling back to
+        the scalar reference loop below at the first non-resident page.
+        The two paths emit the *same* command stream at the same
+        simulated instants, so results are bit-identical either way.
         """
+        if (
+            self.fast_access
+            and compute_ns_per_access >= 0
+            and isinstance(vpns, np.ndarray)
+        ):
+            flat = self.address_space.page_table.flat_view()
+            idx = flat.translate(vpns)
+            if idx is not None:
+                return self._access_run_fast(
+                    flat, idx, write, compute_ns_per_access
+                )
+            # Some VPN is unmapped: the scalar loop reproduces the exact
+            # prefix-processing-then-raise semantics.
+        return self._access_run_slow(vpns, write, compute_ns_per_access)
+
+    def _access_run_slow(
+        self,
+        vpns: Sequence[int],
+        write: bool,
+        compute_ns_per_access: int,
+    ) -> Iterator[Any]:
+        """Scalar reference implementation (pre-vectorization hot loop)."""
         lookup = self.address_space.page_table.lookup
         quantum = self.compute_quantum_ns
         stats = self.stats
@@ -140,7 +177,7 @@ class MemorySystem:
         hits = 0
         if isinstance(vpns, np.ndarray):
             # Plain ints hash ~2x faster than numpy scalars in the dict
-            # lookups below; this loop is the simulator's hottest path.
+            # lookups below.
             vpns = vpns.tolist()
         for vpn in vpns:
             page = lookup(vpn)
@@ -161,6 +198,72 @@ class MemorySystem:
         stats.hits += hits
         if pending:
             yield Compute(pending)
+
+    def _access_run_fast(
+        self,
+        flat: Any,
+        idx: np.ndarray,
+        write: bool,
+        c: int,
+    ) -> Iterator[Any]:
+        """Vectorized access loop over flat PTE indices *idx*.
+
+        Equivalence argument: the scalar loop yields nothing between two
+        consecutive accesses unless it flushes pending compute (every
+        ``chunk = ceil(quantum/c)`` hits) or faults, so presence cannot
+        change *within* a chunk; testing presence for a whole chunk
+        up-front, batching the bit stores, and emitting one ``Compute``
+        per chunk reproduces the scalar command stream exactly:
+
+        - a full chunk of hits accrues ``chunk*c >= quantum`` pending and
+          flushes at its last access → one ``Compute(chunk*c)``;
+        - a miss after ``k`` leading hits flushes ``k*c`` plus the missing
+          access's own ``c`` → one ``Compute((k+1)*c)``, then the fault;
+        - a trace ending mid-chunk leaves ``k*c < quantum`` pending for
+          the trailing flush.
+        """
+        stats = self.stats
+        quantum = self.compute_quantum_ns
+        on_batch = self.policy.on_batch_access
+        handle_fault = self.handle_fault
+        present = flat.present
+        pages = flat.pages
+        n = idx.shape[0]
+        chunk = n if c == 0 else -(-quantum // c)  # ceil(quantum / c)
+        hits = 0
+        pos = 0
+        tail_pending = 0
+        while pos < n:
+            lim = pos + chunk
+            if lim > n:
+                lim = n
+            seg = idx[pos:lim]
+            pres = present[seg]
+            k = int(pres.argmin())  # first non-resident page, if any
+            if pres[k]:
+                # Whole segment resident.
+                k = lim - pos
+                on_batch(flat, seg, write)
+                hits += k
+                pos = lim
+                if c:
+                    if k == chunk:
+                        yield Compute(k * c)  # flush at the quantum
+                    else:
+                        tail_pending = k * c  # trace ended mid-chunk
+                continue
+            # Miss at seg[k]; the k leading pages are resident hits.
+            if k:
+                on_batch(flat, seg[:k], write)
+                hits += k
+                pos += k
+            if c:
+                yield Compute(k * c + c)
+            yield from handle_fault(pages[idx[pos]], write)
+            pos += 1
+        stats.hits += hits
+        if tail_pending:
+            yield Compute(tail_pending)
 
     def access(self, vpn: int, write: bool = False) -> Iterator[Any]:
         """Touch a single VPN (request-latency measurement path)."""

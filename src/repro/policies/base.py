@@ -27,6 +27,7 @@ from repro.mm.swap_cache import ShadowEntry
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.mm.page import Page
+    from repro.mm.page_table import PTEFlatState
     from repro.mm.system import MemorySystem
 
 
@@ -62,6 +63,22 @@ class ReplacementPolicy(abc.ABC):
         self, page: "Page", shadow: Optional[ShadowEntry]
     ) -> None:
         """A page became resident (first touch or swap-in refault)."""
+
+    def on_batch_access(
+        self, flat: "PTEFlatState", idx: "Any", write: bool
+    ) -> None:
+        """A run of *resident* pages (flat indices *idx*, VPN order) was
+        accessed by the vectorized fast path.
+
+        Must be equivalent to setting ``page.accessed = True`` (and
+        ``page.dirty`` on writes) for each page in order.  The default
+        loops over the pages; policies whose access bookkeeping is just
+        the PTE bits override with plain numpy writes.
+        """
+        for page in flat.pages[idx]:
+            page.accessed = True
+            if write:
+                page.dirty = True
 
     @abc.abstractmethod
     def make_shadow(self, page: "Page") -> ShadowEntry:

@@ -62,6 +62,14 @@ class ClockLRUPolicy(ReplacementPolicy):
             page.active = False
             self.inactive.push_head(page)
 
+    def on_batch_access(self, flat, idx, write: bool) -> None:
+        # Clock's access bookkeeping is exactly the hardware PTE bits
+        # (list moves happen at scan time, not access time), so a batch
+        # hit is two fancy-indexed stores.
+        flat.accessed[idx] = True
+        if write:
+            flat.dirty[idx] = True
+
     def _refault_within_workingset(self, shadow: ShadowEntry) -> bool:
         """Kernel workingset test: refault distance vs. resident set."""
         distance = self._evict_clock - shadow.policy_clock

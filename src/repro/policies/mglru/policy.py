@@ -116,6 +116,13 @@ class MGLRUPolicy(ReplacementPolicy):
             page.tier = 0
             self.gens.insert(page, self.gens.max_seq)
 
+    def on_batch_access(self, flat, idx, write: bool) -> None:
+        # MG-LRU defers all ordering work to the walkers; an access only
+        # sets PTE bits, so the batched form is two fancy-indexed stores.
+        flat.accessed[idx] = True
+        if write:
+            flat.dirty[idx] = True
+
     def make_shadow(self, page: Page) -> ShadowEntry:
         assert self.system is not None
         self.tiers.record_eviction(page.tier)
@@ -191,6 +198,7 @@ class MGLRUPolicy(ReplacementPolicy):
         stats.aging_walks += 1
         self._evictions_at_last_walk = stats.evictions
         walk_uses_bloom = self.params.scan_mode is ScanMode.BLOOM
+        flat_view = system.address_space.page_table.flat_view
         scanned = 0
         skipped = 0
         # Scan costs are accrued and yielded in batches: one Compute per
@@ -211,11 +219,18 @@ class MGLRUPolicy(ReplacementPolicy):
                 yield Compute(pending_ns)
                 pending_ns = 0
             stats.ptes_scanned += region.n_ptes
-            young = 0
-            for page in region.pages:
-                if page.present and page.accessed:
-                    young += 1
-                    page.accessed = False
+            # Vectorized young-PTE harvest; the promote loop visits pages
+            # in region order, exactly as the scalar per-page scan did.
+            # flat_view() is O(1) unless a page was mapped since the last
+            # build (then the rebuild refreshes every page's index).
+            flat = flat_view()
+            idx = region.flat_indices(flat)
+            young_mask = flat.present[idx] & flat.accessed[idx]
+            young = int(young_mask.sum())
+            if young:
+                sel = idx[young_mask]
+                flat.accessed[sel] = False
+                for page in flat.pages[sel]:
                     if page._ilist_owner is not None:
                         self.gens.promote(page)
                         stats.promotions += 1
@@ -321,18 +336,20 @@ class MGLRUPolicy(ReplacementPolicy):
         yield Compute(region.n_ptes * costs.pte_nearby_scan_ns)
         system.stats.ptes_scanned_nearby += region.n_ptes
         promoted = 0
-        for page in region.pages:
-            if (
-                page.present
-                and page.accessed
-                and page._ilist_owner is not None
-            ):
-                page.accessed = False
-                if page.kind is PageKind.FILE:
-                    page.tier = min(page.tier + 1, self.params.n_tiers - 1)
-                else:
-                    self.gens.promote(page)
-                promoted += 1
+        # Presence/accessed are read *after* the scan-cost yield (they
+        # may have changed during it), batched over the region.
+        flat = system.address_space.page_table.flat_view()
+        idx = region.flat_indices(flat)
+        mask = flat.present[idx] & flat.accessed[idx]
+        if mask.any():
+            for page in flat.pages[idx[mask]]:
+                if page._ilist_owner is not None:
+                    page.accessed = False
+                    if page.kind is PageKind.FILE:
+                        page.tier = min(page.tier + 1, self.params.n_tiers - 1)
+                    else:
+                        self.gens.promote(page)
+                    promoted += 1
         system.stats.promotions += promoted
         if self.params.scan_mode is ScanMode.BLOOM:
             yield Compute(costs.bloom_op_ns)

@@ -85,13 +85,37 @@ class CPU:
 
     def submit(self, thread: "SimThread", work_ns: int) -> None:
         """Begin ``work_ns`` of CPU service for *thread*; the thread is
-        resumed when the service has been delivered."""
-        self._advance()
+        resumed when the service has been delivered.
+
+        This is the single hottest callback in a trial (every Compute
+        lands here), so :meth:`_advance`, :meth:`_set_rate` and
+        :meth:`_arm_timer` are inlined.
+        """
+        # _advance()
+        now = self._engine._now
+        dt = now - self._last_update
+        if dt > 0:
+            n = self._n_jobs
+            if n:
+                self._service += dt * self._rate
+                self.busy_cpu_ns += dt * (n if n < self.n_cpus else self.n_cpus)
+            self._last_update = now
         self._seq += 1
         heapq.heappush(self._heap, (self._service + work_ns, self._seq, thread))
-        self._n_jobs += 1
-        self._set_rate()
-        self._arm_timer()
+        n = self._n_jobs = self._n_jobs + 1
+        # _set_rate()
+        rate = self._rate = 1.0 if n <= self.n_cpus else self.n_cpus / n
+        # _arm_timer()
+        version = self._timer_version = self._timer_version + 1
+        deficit = self._heap[0][0] - self._service
+        if deficit > _EPSILON:
+            exact = deficit / rate
+            delay = int(exact)
+            if delay < exact:
+                delay += 1  # ceiling without float drift on exact values
+        else:
+            delay = 0
+        self._engine.schedule1(delay, self._on_timer, version)
 
     def _advance(self) -> None:
         """Accrue service up to the current instant."""
@@ -123,24 +147,44 @@ class CPU:
                 delay += 1  # ceiling without float drift on exact values
         else:
             delay = 0
-        version = self._timer_version
-        self._engine.schedule(delay, lambda: self._on_timer(version))
+        self._engine.schedule1(delay, self._on_timer, self._timer_version)
 
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
             return  # superseded by a newer set change
-        self._advance()
-        done: List["SimThread"] = []
+        # _advance()
+        now = self._engine._now
+        dt = now - self._last_update
+        if dt > 0:
+            n = self._n_jobs
+            if n:
+                self._service += dt * self._rate
+                self.busy_cpu_ns += dt * (n if n < self.n_cpus else self.n_cpus)
+            self._last_update = now
         heap = self._heap
-        while heap and heap[0][0] <= self._service + _EPSILON:
-            _target, _seq, thread = heapq.heappop(heap)
-            done.append(thread)
-        if not done:
+        limit = self._service + _EPSILON
+        if not heap or heap[0][0] > limit:
             # Fired marginally early due to integer delay rounding.
             self._arm_timer()
             return
-        self._n_jobs -= len(done)
-        self._set_rate()
-        self._arm_timer()
+        heappop = heapq.heappop
+        done: List["SimThread"] = [heappop(heap)[2]]
+        while heap and heap[0][0] <= limit:
+            done.append(heappop(heap)[2])
+        n = self._n_jobs = self._n_jobs - len(done)
+        # _set_rate()
+        rate = self._rate = 1.0 if n <= self.n_cpus else self.n_cpus / n
+        # _arm_timer()
+        version = self._timer_version = self._timer_version + 1
+        if heap:
+            deficit = heap[0][0] - self._service
+            if deficit > _EPSILON:
+                exact = deficit / rate
+                delay = int(exact)
+                if delay < exact:
+                    delay += 1
+            else:
+                delay = 0
+            self._engine.schedule1(delay, self._on_timer, version)
         for thread in done:
             thread._step(None)

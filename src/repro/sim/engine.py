@@ -19,6 +19,11 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.process import SimThread
 
 
+def _call0(fn: Callable[[], None]) -> None:
+    """Adapter: run a no-argument callback through the 1-arg queue slot."""
+    fn()
+
+
 class Engine:
     """Event loop with a simulated nanosecond clock.
 
@@ -28,10 +33,15 @@ class Engine:
         thread = engine.spawn(my_generator(), name="worker")
         engine.run()
         assert thread.finished
+
+    Queue entries are ``(when, seq, fn, arg)`` and fire as ``fn(arg)``:
+    carrying the argument in the tuple lets the hot paths (thread steps,
+    CPU timers) schedule bound methods directly instead of building a
+    closure per event.
     """
 
     def __init__(self) -> None:
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._queue: list[tuple[int, int, Callable[[Any], None], Any]] = []
         self._now = 0
         self._seq = 0
         self._threads: list[SimThread] = []
@@ -53,7 +63,16 @@ class Engine:
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay_ns, self._seq, fn))
+        heapq.heappush(self._queue, (self._now + delay_ns, self._seq, _call0, fn))
+
+    def schedule1(
+        self, delay_ns: int, fn: Callable[[Any], None], arg: Any
+    ) -> None:
+        """Run ``fn(arg)`` after ``delay_ns`` ns (closure-free hot path)."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay_ns, self._seq, fn, arg))
 
     def schedule_at(self, when_ns: int, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``when_ns``."""
@@ -80,7 +99,7 @@ class Engine:
         if not daemon:
             self._n_live_foreground += 1
         # Start on the next event-loop turn so spawn order == start order.
-        self.schedule(0, lambda: thread._step(None))
+        self.schedule1(0, thread._step, None)
         return thread
 
     def _thread_finished(self, thread: SimThread) -> None:
@@ -110,16 +129,18 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        queue = self._queue
         try:
-            while self._queue:
-                if until_ns is not None and self._queue[0][0] > until_ns:
+            while queue:
+                if until_ns is not None and queue[0][0] > until_ns:
                     self._now = until_ns
                     return self._now
-                when, _seq, fn = heapq.heappop(self._queue)
+                when, _seq, fn, arg = heappop(queue)
                 if when < self._now:
                     raise SimulationError("event queue went backwards in time")
                 self._now = when
-                fn()
+                fn(arg)
                 if self._n_live_foreground == 0:
                     return self._now
             blocked = self._live_foreground_threads()

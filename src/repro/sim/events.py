@@ -24,7 +24,6 @@ Commands
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
@@ -32,33 +31,81 @@ from repro.errors import SimulationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.sim.process import SimThread
 
+# The four command classes are plain ``__slots__`` classes rather than
+# dataclasses: millions are created per trial and the frozen-dataclass
+# ``object.__setattr__`` constructor shows up in profiles.
 
-@dataclass(frozen=True)
+
 class Compute:
     """Consume ``ns`` nanoseconds of CPU time (contention-dilated)."""
 
-    ns: int
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int) -> None:
+        self.ns = ns
+
+    def __repr__(self) -> str:
+        return f"Compute(ns={self.ns!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is Compute and other.ns == self.ns
+
+    def __hash__(self) -> int:
+        return hash((Compute, self.ns))
 
 
-@dataclass(frozen=True)
 class Sleep:
     """Advance simulated time by ``ns`` without consuming CPU."""
 
-    ns: int
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int) -> None:
+        self.ns = ns
+
+    def __repr__(self) -> str:
+        return f"Sleep(ns={self.ns!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is Sleep and other.ns == self.ns
+
+    def __hash__(self) -> int:
+        return hash((Sleep, self.ns))
 
 
-@dataclass(frozen=True)
 class WaitEvent:
     """Block until ``event`` fires; the generator resumes with its value."""
 
-    event: "OneShotEvent"
+    __slots__ = ("event",)
+
+    def __init__(self, event: "OneShotEvent") -> None:
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"WaitEvent(event={self.event!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is WaitEvent and other.event is self.event
+
+    def __hash__(self) -> int:
+        return hash((WaitEvent, id(self.event)))
 
 
-@dataclass(frozen=True)
 class WaitWaker:
     """Block until :meth:`Waker.wake` is called on ``waker``."""
 
-    waker: "Waker"
+    __slots__ = ("waker",)
+
+    def __init__(self, waker: "Waker") -> None:
+        self.waker = waker
+
+    def __repr__(self) -> str:
+        return f"WaitWaker(waker={self.waker!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return type(other) is WaitWaker and other.waker is self.waker
+
+    def __hash__(self) -> int:
+        return hash((WaitWaker, id(self.waker)))
 
 
 class OneShotEvent:

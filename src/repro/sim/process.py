@@ -39,6 +39,20 @@ class SimThread:
     generator yields its first :class:`Compute` command.
     """
 
+    __slots__ = (
+        "_engine",
+        "_gen",
+        "name",
+        "daemon",
+        "cpu",
+        "_finished",
+        "_result",
+        "_started",
+        "done_event",
+        "compute_requested_ns",
+        "finish_time_ns",
+    )
+
     def __init__(
         self,
         engine: "Engine",
@@ -86,7 +100,10 @@ class SimThread:
 
     def _resume_soon(self, value: Any) -> None:
         """Resume the generator on the next event-loop turn."""
-        self._engine.schedule(0, lambda: self._step(value))
+        if value is None:
+            self._engine.schedule1(0, self._step, None)
+        else:
+            self._engine.schedule1(0, self._step, value)
 
     def _step(self, value: Any) -> None:
         """Advance the generator by one command and dispatch it."""
@@ -102,7 +119,27 @@ class SimThread:
             self._engine._thread_finished(self)
             self.done_event.fire(stop.value)
             return
-        self._dispatch(command)
+        # Exact-type dispatch first (the two commands that dominate every
+        # trial); anything else — including subclasses — goes through the
+        # isinstance chain in :meth:`_dispatch`.
+        cls = type(command)
+        if cls is Compute:
+            ns = command.ns
+            if ns <= 0:
+                self._engine.schedule1(0, self._step, None)
+                return
+            cpu = self.cpu
+            if cpu is None:
+                raise SimulationError(
+                    f"thread {self.name!r} yielded Compute with no CPU set"
+                )
+            self.compute_requested_ns += ns
+            cpu.submit(self, ns)
+        elif cls is Sleep:
+            ns = command.ns
+            self._engine.schedule1(ns if ns > 0 else 0, self._step, None)
+        else:
+            self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Compute):
@@ -116,7 +153,7 @@ class SimThread:
             self.compute_requested_ns += command.ns
             self.cpu.submit(self, command.ns)
         elif isinstance(command, Sleep):
-            self._engine.schedule(max(0, command.ns), lambda: self._step(None))
+            self._engine.schedule1(max(0, command.ns), self._step, None)
         elif isinstance(command, WaitEvent):
             if not command.event._add_waiter(self):
                 self._resume_soon(command.event.value)

@@ -28,6 +28,12 @@ class SSDSwapDevice(SwapDevice):
 
     name = "ssd"
 
+    #: Jitter factors drawn per bulk RNG call.  Every draw on this stream
+    #: is lognormal(0, jitter_sigma) regardless of I/O direction, and
+    #: numpy consumes the bit stream identically for batched and scalar
+    #: draws, so pooling keeps per-seed latencies bit-identical.
+    JITTER_POOL = 2048
+
     def __init__(
         self,
         engine: Engine,
@@ -39,10 +45,19 @@ class SSDSwapDevice(SwapDevice):
         self._rng = rng
         self.costs = costs
         self._queue = FifoResource(costs.queue_depth, name="ssd-queue")
+        self._jitter_pool = None
+        self._jitter_pos = 0
 
     def _latency_ns(self, base_ns: int) -> int:
-        jitter = self._rng.lognormal(mean=0.0, sigma=self.costs.jitter_sigma)
-        return max(1, int(base_ns * jitter))
+        pos = self._jitter_pos
+        pool = self._jitter_pool
+        if pool is None or pos >= pool.shape[0]:
+            pool = self._jitter_pool = self._rng.lognormal(
+                mean=0.0, sigma=self.costs.jitter_sigma, size=self.JITTER_POOL
+            )
+            pos = 0
+        self._jitter_pos = pos + 1
+        return max(1, int(base_ns * pool[pos]))
 
     def _io(self, base_ns: int) -> Iterator[Any]:
         start = self._engine.now

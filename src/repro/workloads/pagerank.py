@@ -55,6 +55,14 @@ class PageRankParams:
     compute_jitter_sigma: float = 0.03
 
 
+#: Built graph + per-edge-page rank pages, keyed by (dataset RNG seed,
+#: RNG path, params).  The dataset seed is fixed (§IV reruns identical
+#: inputs), so every trial of a cell would rebuild an identical graph —
+#: by far the most expensive part of trial setup.  One entry is kept;
+#: the cached arrays are marked read-only since trials share them.
+_DATASET_CACHE: dict = {}
+
+
 class PageRankWorkload(Workload):
     """The GAP PageRank stand-in."""
 
@@ -74,6 +82,10 @@ class PageRankWorkload(Workload):
         self._rank_src_start = 0
         self._rank_dst_start = 0
         self._iterations_done = 0
+        #: tid → (relative trace, is-edge-entry mask, n_rank_touches);
+        #: shared via the dataset cache (ASLR shifts the VPN bases per
+        #: trial, so only the base-independent form is cacheable).
+        self._trace_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Setup
@@ -82,13 +94,25 @@ class PageRankWorkload(Workload):
     def _build(self, rng: RngTree) -> int:
         self._rng = rng
         p = self.params
-        self.graph = power_law_graph(
-            p.n_vertices,
-            p.n_vertices * p.avg_degree,
-            rng.stream("graph"),
-            alpha=p.power_law_alpha,
-        )
-        self._edge_page_ranks = self.graph.edge_page_rank_pages()
+        key = (rng.seed, rng._path, p)
+        cached = _DATASET_CACHE.get(key)
+        if cached is None:
+            graph = power_law_graph(
+                p.n_vertices,
+                p.n_vertices * p.avg_degree,
+                rng.stream("graph"),
+                alpha=p.power_law_alpha,
+            )
+            edge_page_ranks = graph.edge_page_rank_pages()
+            graph.offsets.setflags(write=False)
+            graph.targets.setflags(write=False)
+            for ranks in edge_page_ranks:
+                ranks.setflags(write=False)
+            # Third slot: per-thread relative gather traces, filled
+            # lazily by thread_body (they are dataset-derived too).
+            _DATASET_CACHE.clear()
+            _DATASET_CACHE[key] = cached = (graph, edge_page_ranks, {})
+        self.graph, self._edge_page_ranks, self._trace_cache = cached
         g = self.graph
         return (
             g.n_offset_pages()
@@ -166,16 +190,34 @@ class PageRankWorkload(Workload):
         # Precompute the gather-phase trace once: for each owned edge
         # page, the edge page itself followed by the distinct rank pages
         # its targets live on.  The same pattern repeats every iteration
-        # (PageRank's access pattern is iteration-invariant).
-        pieces: List[np.ndarray] = []
-        n_rank_touches = 0
-        for ep in range(e_lo, e_hi):
-            pieces.append(np.array([self._edges_start + ep], dtype=np.int64))
-            ranks = self._rank_src_start + self._edge_page_ranks[ep]
-            n_rank_touches += len(ranks)
-            pieces.append(ranks)
-        gather_trace = (
-            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        # (PageRank's access pattern is iteration-invariant), and its
+        # base-independent form is dataset-derived, hence cached across
+        # trials; only the per-trial VPN bases are applied here.
+        cached = self._trace_cache.get(tid)
+        if cached is None:
+            pieces: List[np.ndarray] = []
+            n_rank_touches = 0
+            for ep in range(e_lo, e_hi):
+                pieces.append(np.array([ep], dtype=np.int64))
+                ranks = self._edge_page_ranks[ep]
+                n_rank_touches += len(ranks)
+                pieces.append(ranks)
+            rel = (
+                np.concatenate(pieces)
+                if pieces
+                else np.empty(0, dtype=np.int64)
+            )
+            is_edge = np.zeros(len(rel), dtype=bool)
+            off = 0
+            for ep in range(e_lo, e_hi):
+                is_edge[off] = True
+                off += 1 + len(self._edge_page_ranks[ep])
+            rel.setflags(write=False)
+            is_edge.setflags(write=False)
+            self._trace_cache[tid] = cached = (rel, is_edge, n_rank_touches)
+        rel, is_edge, n_rank_touches = cached
+        gather_trace = np.where(
+            is_edge, self._edges_start + rel, self._rank_src_start + rel
         )
         # Fold per-edge-page compute into a uniform per-access cost so
         # the whole gather phase is one batched access run.

@@ -147,21 +147,27 @@ class TPCHWorkload(Workload):
                     probes = self._hash_start + self._probe_zipf.sample(
                         probe_rng, n_probes
                     )
-                    k = max(1, n_probes // max(1, len(stream)))
-                    mixed = np.empty(len(stream) + n_probes, dtype=np.int64)
-                    pos = 0
-                    pi = 0
-                    for page in stream:
-                        mixed[pos] = page
-                        pos += 1
-                        take = min(k, n_probes - pi)
-                        mixed[pos : pos + take] = probes[pi : pi + take]
-                        pos += take
-                        pi += take
-                    if pi < n_probes:
-                        mixed[pos : pos + (n_probes - pi)] = probes[pi:]
-                        pos += n_probes - pi
-                    runs.append((mixed[:pos], False))
+                    s = len(stream)
+                    k = max(1, n_probes // s)
+                    # One page then k probes, repeated.  Either every page
+                    # takes exactly k probes and surplus probes trail the
+                    # run, or (k == 1, n_probes < s) only the first
+                    # n_probes pages are paired and bare pages trail.
+                    if n_probes >= s * k:
+                        block = np.empty((s, k + 1), dtype=np.int64)
+                        block[:, 0] = stream
+                        block[:, 1:] = probes[: s * k].reshape(s, k)
+                        mixed = np.concatenate(
+                            (block.reshape(-1), probes[s * k :])
+                        )
+                    else:
+                        block = np.empty((n_probes, 2), dtype=np.int64)
+                        block[:, 0] = stream[:n_probes]
+                        block[:, 1] = probes
+                        mixed = np.concatenate(
+                            (block.reshape(-1), stream[n_probes:])
+                        )
+                    runs.append((mixed, False))
                 else:
                     runs.append((stream, False))
 
