@@ -2,13 +2,26 @@
 
 Runs the single most access-heavy cell of the paper grid — PageRank on
 MG-LRU over SSD at 50% capacity — and reports simulated page accesses
-(hits + faults) per wall-clock second, with the vectorized resident
-fast path on and off.  Writes ``benchmarks/output/BENCH_hotpath.json``.
+(hits + faults) per wall-clock second in three configurations:
+
+- ``fast_on``   — vectorized fast path, tracing off (the production path);
+- ``trace_on``  — vectorized fast path with full trace capture attached,
+  measuring the observability subsystem's overhead side by side;
+- ``fast_off``  — scalar reference loop (skipped with ``--skip-slow``).
+
+The ``fast_on`` number is also checked against the committed baseline
+JSON: a regression of more than ``--tolerance`` (default 5%) fails the
+run loudly, which is how the tracepoint instrumentation's
+off-path cost is kept at noise level.  Pass ``--no-check`` to skip the
+comparison (e.g. in CI, where hardware differs from the baseline's).
+
+Writes ``benchmarks/output/BENCH_hotpath.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py [--rounds N]
-        [--skip-slow] [--output PATH]
+        [--skip-slow] [--no-check] [--tolerance F] [--output PATH]
+        [--baseline PATH]
 
 Not a pytest-benchmark module on purpose: the figure benchmarks measure
 *what* the simulator reproduces, this measures *how fast*, and CI wants
@@ -26,6 +39,7 @@ import time
 
 from repro.core.config import SystemConfig
 from repro.core.experiment import run_trial
+from repro.trace.config import TraceConfig
 
 #: Seed-revision throughput of this cell (accesses/sec, measured on the
 #: pre-fast-path scalar loop) — the reference for the speedup ratio
@@ -37,16 +51,17 @@ CELL = dict(workload="pagerank", policy="mglru", swap="ssd", ratio=0.5)
 SEED = 10_000
 
 
-def _one_trial(fast: bool) -> tuple[float, int]:
+def _one_trial(fast: bool, trace: bool = False) -> tuple[float, int]:
     """(wall seconds, simulated accesses) for one trial of the cell."""
     config = SystemConfig(
         policy=CELL["policy"], swap=CELL["swap"], capacity_ratio=CELL["ratio"]
     )
+    trace_config = TraceConfig() if trace else None
     t0 = time.perf_counter()
     prev = os.environ.get("REPRO_FAST_ACCESS")
     os.environ["REPRO_FAST_ACCESS"] = "1" if fast else "0"
     try:
-        trial = run_trial(CELL["workload"], config, SEED)
+        trial = run_trial(CELL["workload"], config, SEED, trace=trace_config)
     finally:
         if prev is None:
             del os.environ["REPRO_FAST_ACCESS"]
@@ -59,11 +74,11 @@ def _one_trial(fast: bool) -> tuple[float, int]:
     return wall, accesses
 
 
-def _measure(fast: bool, rounds: int) -> dict:
+def _measure(fast: bool, rounds: int, trace: bool = False) -> dict:
     walls = []
     accesses = 0
     for _ in range(rounds):
-        wall, accesses = _one_trial(fast)
+        wall, accesses = _one_trial(fast, trace=trace)
         walls.append(wall)
     best = min(walls)
     return {
@@ -73,6 +88,45 @@ def _measure(fast: bool, rounds: int) -> dict:
         "accesses": accesses,
         "accesses_per_sec": accesses / best,
     }
+
+
+def _check_baseline(
+    report: dict, baseline_path: pathlib.Path, tolerance: float
+) -> int:
+    """Compare the tracing-off number to the committed baseline.
+
+    Returns a process exit code: 0 when within tolerance (or no baseline
+    exists yet), 1 on a regression beyond it.
+    """
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    try:
+        baseline = json.loads(baseline_path.read_text())
+        reference = float(baseline["fast_on"]["accesses_per_sec"])
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"baseline {baseline_path} unreadable ({exc}); skipping check")
+        return 0
+    measured = report["fast_on"]["accesses_per_sec"]
+    ratio = measured / reference
+    floor = 1.0 - tolerance
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(
+        f"off-path check: {measured:,.0f} acc/s vs baseline "
+        f"{reference:,.0f} acc/s ({ratio:.3f}x, floor {floor:.2f}x) "
+        f"... {verdict}"
+    )
+    if ratio < floor:
+        print(
+            "FAIL: tracing-off throughput regressed more than "
+            f"{tolerance:.0%} vs {baseline_path} — the disabled-tracepoint "
+            "path is supposed to be free.  If the drop is expected and "
+            "understood, regenerate the baseline; otherwise fix the hot "
+            "path.  (--no-check skips this gate.)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,12 +140,27 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the fast-path-off reference measurement",
     )
     parser.add_argument(
+        "--no-check", action="store_true",
+        help="skip the regression check against the committed baseline",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed fractional drop vs the baseline (default 0.05)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=pathlib.Path(__file__).parent / "output" / "BENCH_hotpath.json",
     )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=None,
+        help="baseline JSON for the regression check (default: --output)",
+    )
     args = parser.parse_args(argv)
     rounds = max(1, args.rounds)
+    baseline_path = args.baseline if args.baseline is not None else args.output
 
     # Warm-up trial: populates the module-level dataset/trace caches so
     # round 1 is not charged graph construction.
@@ -100,19 +169,38 @@ def main(argv: list[str] | None = None) -> int:
 
     fast = _measure(fast=True, rounds=rounds)
     print(
-        f"fast path ON : {fast['best_wall_seconds']:.3f}s best of {rounds}, "
+        f"tracing OFF  : {fast['best_wall_seconds']:.3f}s best of {rounds}, "
         f"{fast['accesses_per_sec']:,.0f} acc/s",
         flush=True,
     )
+    traced = _measure(fast=True, rounds=rounds, trace=True)
+    print(
+        f"tracing ON   : {traced['best_wall_seconds']:.3f}s best of "
+        f"{rounds}, {traced['accesses_per_sec']:,.0f} acc/s "
+        f"({fast['accesses_per_sec'] / traced['accesses_per_sec']:.2f}x "
+        f"slower than off)",
+        flush=True,
+    )
+
+    # The regression gate compares against the *committed* baseline, so
+    # it must run before the report overwrites that file.
+    check_rc = 0
     report = {
         "cell": CELL,
         "seed": SEED,
         "seed_baseline_acc_per_sec": SEED_BASELINE_ACC_PER_SEC,
         "fast_on": fast,
+        "trace_on": traced,
+        "trace_overhead_x": (
+            fast["accesses_per_sec"] / traced["accesses_per_sec"]
+        ),
         "speedup_vs_seed_baseline": (
             fast["accesses_per_sec"] / SEED_BASELINE_ACC_PER_SEC
         ),
     }
+    if not args.no_check:
+        check_rc = _check_baseline(report, baseline_path, args.tolerance)
+
     if not args.skip_slow:
         slow = _measure(fast=False, rounds=rounds)
         print(
@@ -132,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
-    return 0
+    return check_rc
 
 
 if __name__ == "__main__":

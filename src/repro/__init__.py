@@ -33,6 +33,7 @@ from repro.policies import (
     MGLRUParams,
     make_policy,
 )
+from repro.trace import TraceCapture, TraceConfig
 from repro.workloads import PAPER_WORKLOADS, make_workload
 
 __version__ = "1.0.0"
@@ -47,6 +48,8 @@ __all__ = [
     "FigureResult",
     "FIGURES",
     "MemorySystem",
+    "TraceCapture",
+    "TraceConfig",
     "MGLRUParams",
     "make_policy",
     "make_workload",

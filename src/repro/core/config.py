@@ -16,6 +16,7 @@ from repro.core.calibration import DEFAULT_N_CPUS, calibrated_costs
 from repro.errors import ConfigError
 from repro.mm.costs import CostModel, SSDCosts, ZRAMCosts
 from repro.policies import POLICY_FACTORIES
+from repro.trace.config import TraceConfig
 from repro.workloads import WORKLOAD_FACTORIES
 
 #: Capacity ratios the paper sweeps (§V-A, §V-C).
@@ -67,6 +68,9 @@ class ExperimentConfig:
     n_trials: int = 25
     #: Trial *t* uses seed ``base_seed + t``.
     base_seed: int = 10_000
+    #: Per-trial trace capture; ``None`` (the default) means tracing is
+    #: off and trials run the zero-overhead untraced path.
+    trace: Optional[TraceConfig] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_FACTORIES:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import asdict
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.config import ExperimentConfig, SystemConfig
@@ -21,6 +22,8 @@ from repro.policies import make_policy
 from repro.sim.engine import Engine
 from repro.sim.rng import RngTree
 from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+from repro.trace.config import TraceConfig
+from repro.trace.session import TraceSession
 from repro.workloads import make_workload
 
 
@@ -60,8 +63,16 @@ def run_trial(
     workload_name: str,
     system_config: SystemConfig,
     seed: int,
+    trace: Optional[TraceConfig] = None,
 ) -> TrialResult:
-    """One full workload execution on a fresh simulator."""
+    """One full workload execution on a fresh simulator.
+
+    With ``trace`` set (and enabled), a :class:`TraceSession` attaches
+    ring-buffer probes to the tracepoints and samples vmstat for the
+    trial's duration; the capture comes back on ``TrialResult.trace``.
+    Probes are passive and the sampler only reads, so the traced trial's
+    measurements are bit-identical to the untraced ones.
+    """
     engine = Engine()
     rng = RngTree(seed)
     workload = make_workload(workload_name)
@@ -69,13 +80,38 @@ def run_trial(
     footprint = workload.prepare(dataset_rng)
     capacity = max(64, int(footprint * system_config.capacity_ratio))
     system = build_system(engine, rng, system_config, capacity)
-    workload.setup(system)
-    system.start()
-    workload.spawn(system)
-    runtime_ns = engine.run()
+    session: Optional[TraceSession] = None
+    if trace is not None and trace.enabled:
+        session = TraceSession(trace, system)
+        session.start()
+    try:
+        workload.setup(system)
+        system.start()
+        workload.spawn(system)
+        runtime_ns = engine.run()
+    finally:
+        # Probes are process-global; detach even on error paths so a
+        # failed trial cannot leak probes into the next one.
+        if session is not None:
+            session.detach()
 
     stats = system.stats
     stats.rmap_walks = system.rmap.walk_count
+    capture = None
+    if session is not None:
+        # Finalized after the post-run counter fixups above, so the last
+        # vmstat row equals the trial's aggregate counters.
+        capture = session.finalize(
+            runtime_ns,
+            meta={
+                "workload": workload_name,
+                "policy": system_config.policy,
+                "swap": system_config.swap,
+                "capacity_ratio": system_config.capacity_ratio,
+                "seed": seed,
+                "costs": asdict(system_config.costs),
+            },
+        )
     wl_result = workload.result()
     counters = stats.snapshot()
     counters["swap_reads"] = system.swap_device.stats.reads
@@ -95,6 +131,7 @@ def run_trial(
         latencies_ns=wl_result.latencies_ns,
         footprint_pages=footprint,
         capacity_frames=capacity,
+        trace=capture,
     )
 
 
@@ -150,6 +187,7 @@ class ExperimentRunner:
             config.system.capacity_ratio,
             config.n_trials,
             config.base_seed,
+            config.trace,
         )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -195,7 +233,8 @@ class ExperimentRunner:
         if self.jobs > 1 and len(seeds) > 1:
             futures = [
                 self._ensure_pool().submit(
-                    run_trial, config.workload, config.system, seed
+                    run_trial, config.workload, config.system, seed,
+                    config.trace,
                 )
                 for seed in seeds
             ]
@@ -205,7 +244,11 @@ class ExperimentRunner:
         else:
             for i, seed in enumerate(seeds):
                 self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
-                trials.append(run_trial(config.workload, config.system, seed))
+                trials.append(
+                    run_trial(
+                        config.workload, config.system, seed, config.trace
+                    )
+                )
         result = self._assemble(config, trials)
         self._cache[key] = result
         return result
@@ -229,7 +272,8 @@ class ExperimentRunner:
                 continue
             futures: List[Future] = [
                 self._ensure_pool().submit(
-                    run_trial, config.workload, config.system, seed
+                    run_trial, config.workload, config.system, seed,
+                    config.trace,
                 )
                 for seed in config.seeds()
             ]

@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.trace.session import TraceCapture
 
 
 @dataclass
@@ -33,6 +36,12 @@ class TrialResult:
     latencies_ns: Dict[str, np.ndarray] = field(default_factory=dict)
     footprint_pages: int = 0
     capacity_frames: int = 0
+    #: Trace capture when the trial ran with tracing enabled.  Excluded
+    #: from equality so a traced trial compares equal to its untraced
+    #: twin (the bit-identity contract the equivalence suite asserts).
+    trace: Optional["TraceCapture"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def runtime_s(self) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.errors import ConfigError, SimulationError
+from repro.trace import tracepoints as _tp
 
 
 class FrameAllocator:
@@ -49,6 +50,9 @@ class FrameAllocator:
         self._free: List[int] = list(range(capacity - 1, -1, -1))
         #: Lifetime allocation count (for stats).
         self.total_allocations = 0
+        #: Watermark pressure level last reported to ``mm_watermark``
+        #: (0 = above low, 1 = at/below low, 2 = at/below min).
+        self._wm_level = 0
 
     # ------------------------------------------------------------------
     # State
@@ -89,7 +93,10 @@ class FrameAllocator:
         if not self._free:
             return None
         self.total_allocations += 1
-        return self._free.pop()
+        frame = self._free.pop()
+        if _tp.mm_watermark is not None:
+            self._trace_watermark()
+        return frame
 
     def free(self, frame: int) -> None:
         """Return *frame* to the free list."""
@@ -98,3 +105,13 @@ class FrameAllocator:
         self._free.append(frame)
         if len(self._free) > self.capacity:
             raise SimulationError("double free detected (free list overflow)")
+        if _tp.mm_watermark is not None:
+            self._trace_watermark()
+
+    def _trace_watermark(self) -> None:
+        """Emit ``mm_watermark`` when the pressure level changes."""
+        n = len(self._free)
+        level = 2 if n <= self.min_watermark else 1 if n <= self.low_watermark else 0
+        if level != self._wm_level:
+            self._wm_level = level
+            _tp.mm_watermark(level, n, self.capacity)

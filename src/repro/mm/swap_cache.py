@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.errors import SimulationError, SwapFullError
 from repro.mm.page import Page
+from repro.trace import tracepoints as _tp
 
 
 @dataclass(frozen=True)
@@ -70,6 +71,8 @@ class SwapSpace:
         page.swap_slot = slot
         self._shadows[page.vpn] = shadow
         self.stores += 1
+        if _tp.swap_slot_state is not None:
+            _tp.swap_slot_state(self.n_used, self.n_slots)
         return slot
 
     def set_shadow(self, page: Page, shadow: ShadowEntry) -> None:
@@ -95,6 +98,8 @@ class SwapSpace:
         self._free_slots.append(page.swap_slot)
         page.swap_slot = None
         self._shadows.pop(page.vpn, None)
+        if _tp.swap_slot_state is not None:
+            _tp.swap_slot_state(self.n_used, self.n_slots)
 
     def peek_shadow(self, page: Page) -> Optional[ShadowEntry]:
         """Read a page's shadow entry without consuming it."""

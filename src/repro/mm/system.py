@@ -43,6 +43,7 @@ from repro.sim.engine import Engine
 from repro.sim.events import Compute, OneShotEvent, Sleep, WaitEvent, Waker, WaitWaker
 from repro.sim.rng import RngTree
 from repro.swapdev.base import SwapDevice
+from repro.trace import tracepoints as _tp
 
 #: Pages per reclaim batch (kernel SWAP_CLUSTER_MAX).
 RECLAIM_BATCH = 32
@@ -305,16 +306,24 @@ class MemorySystem:
 
         done = OneShotEvent(f"fault-vpn{page.vpn}")
         self._inflight_faults[page] = done
+        t0 = self.engine.now
         try:
             yield Compute(self.costs.fault_overhead_ns)
             frame = yield from self._alloc_frame()
-            if page.swap_slot is not None:
+            major = page.swap_slot is not None
+            if major:
                 self.stats.major_faults += 1
                 yield from self.swap_device.read(page)
                 shadow = self.swap.refault(page)
                 if shadow is not None:
                     self.stats.refaults += 1
                     page.refault_count += 1
+                    if _tp.mm_vmscan_refault is not None:
+                        _tp.mm_vmscan_refault(
+                            page.vpn,
+                            self.engine.now - shadow.evict_time_ns,
+                            page.refault_count,
+                        )
             else:
                 self.stats.minor_faults += 1
                 yield Compute(self.costs.zero_fill_ns)
@@ -326,6 +335,13 @@ class MemorySystem:
                 page.dirty = True
             self.rmap.insert(frame, page)
             self.policy.on_page_inserted(page, shadow)
+            if major:
+                if _tp.mm_fault_major is not None:
+                    _tp.mm_fault_major(
+                        page.vpn, self.engine.now - t0, int(write)
+                    )
+            elif _tp.mm_fault_minor is not None:
+                _tp.mm_fault_minor(page.vpn, self.engine.now - t0, int(write))
         finally:
             del self._inflight_faults[page]
             done.fire()
@@ -346,6 +362,10 @@ class MemorySystem:
             reclaimed = yield from self.policy.reclaim(RECLAIM_BATCH, direct=True)
             self.stats.direct_reclaims += reclaimed
             self.stats.direct_reclaim_stall_ns += self.engine.now - start
+            if _tp.mm_vmscan_direct_stall is not None:
+                _tp.mm_vmscan_direct_stall(
+                    reclaimed, self.engine.now - start, retries
+                )
             self._kswapd_waker.wake()
             if reclaimed == 0:
                 retries += 1
@@ -375,6 +395,8 @@ class MemorySystem:
         lists; on abort the page is still resident and unlisted.
         """
         assert page.present, "evicting a non-resident page"
+        tp_evict = _tp.mm_vmscan_evict
+        t0 = self.engine.now if tp_evict is not None else 0
         yield Compute(self.costs.reclaim_page_ns)
         needs_write = page.dirty or page.swap_slot is None
         if needs_write:
@@ -416,6 +438,8 @@ class MemorySystem:
         self.rmap.remove(frame)
         self.frames.free(frame)
         self.stats.evictions += 1
+        if tp_evict is not None:
+            tp_evict(page.vpn, self.engine.now - t0, int(needs_write))
         return True
 
     # ------------------------------------------------------------------

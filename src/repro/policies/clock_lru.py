@@ -27,6 +27,7 @@ from repro.mm.page import Page
 from repro.mm.swap_cache import ShadowEntry
 from repro.policies.base import ReplacementPolicy
 from repro.sim.events import Compute
+from repro.trace import tracepoints as _tp
 
 #: Scan at most this many pages per reclaim invocation before giving up;
 #: prevents livelock when every page has its accessed bit set.
@@ -105,6 +106,8 @@ class ClockLRUPolicy(ReplacementPolicy):
             scanned += 1
             # Check the accessed bit: one rmap walk per page, every time.
             yield Compute(system.rmap.walk_cost_ns())
+            if _tp.mm_vmscan_scan is not None:
+                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 0)
             if page.accessed:
                 # Second chance: promote to the active list.
                 page.accessed = False
@@ -137,6 +140,8 @@ class ClockLRUPolicy(ReplacementPolicy):
             if page is None:
                 break
             yield Compute(system.rmap.walk_cost_ns())
+            if _tp.mm_vmscan_scan is not None:
+                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 1)
             if page.accessed:
                 page.accessed = False
                 self.active.push_head(page)  # rotate the clock hand

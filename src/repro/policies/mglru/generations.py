@@ -23,6 +23,7 @@ from typing import Dict, Optional
 from repro.errors import SimulationError
 from repro.mm.intrusive_list import IntrusiveList
 from repro.mm.page import Page
+from repro.trace import tracepoints as _tp
 
 
 class GenerationLists:
@@ -86,6 +87,8 @@ class GenerationLists:
             return False
         self.max_seq += 1
         self.aging_events += 1
+        if _tp.mglru_gen_step is not None:
+            _tp.mglru_gen_step(self.min_seq, self.max_seq)
         return True
 
     def try_advance_min_seq(self) -> bool:
@@ -97,6 +100,8 @@ class GenerationLists:
             return False
         self._lists.pop(self.min_seq, None)
         self.min_seq += 1
+        if _tp.mglru_gen_step is not None:
+            _tp.mglru_gen_step(self.min_seq, self.max_seq)
         return True
 
     # ------------------------------------------------------------------

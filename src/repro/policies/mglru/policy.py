@@ -44,6 +44,7 @@ from repro.policies.mglru.config import MGLRUParams, ScanMode
 from repro.policies.mglru.generations import GenerationLists
 from repro.policies.mglru.tiers import TierTracker, tier_of
 from repro.sim.events import Compute, Sleep
+from repro.trace import tracepoints as _tp
 
 #: Candidates examined per reclaim invocation before giving up
 #: (livelock guard when every candidate is hot).
@@ -195,6 +196,7 @@ class MGLRUPolicy(ReplacementPolicy):
         system = self.system
         costs = system.costs
         stats = system.stats
+        t0 = system.engine.now if _tp.mglru_age is not None else 0
         stats.aging_walks += 1
         self._evictions_at_last_walk = stats.evictions
         walk_uses_bloom = self.params.scan_mode is ScanMode.BLOOM
@@ -252,6 +254,10 @@ class MGLRUPolicy(ReplacementPolicy):
         stats.extra["aging_regions_skipped"] = (
             stats.extra.get("aging_regions_skipped", 0) + skipped
         )
+        if _tp.mglru_age is not None:
+            _tp.mglru_age(
+                self.gens.max_seq, system.engine.now - t0, scanned
+            )
 
     # ------------------------------------------------------------------
     # Eviction walker
@@ -293,6 +299,8 @@ class MGLRUPolicy(ReplacementPolicy):
             scanned += 1
             # Check the accessed bit through the reverse map.
             yield Compute(system.rmap.walk_cost_ns())
+            if _tp.mm_vmscan_scan is not None:
+                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 2)
             if page.accessed:
                 page.accessed = False
                 self._promote_hot_candidate(page)
@@ -323,6 +331,8 @@ class MGLRUPolicy(ReplacementPolicy):
             # One tier up within its generation, not straight to youngest.
             page.tier = min(page.tier + 1, self.params.n_tiers - 1)
             self.gens.insert(page, page.gen_seq)
+            if _tp.mglru_tier_promote is not None:
+                _tp.mglru_tier_promote(page.vpn, page.tier)
         else:
             self.gens.insert(page, self.gens.max_seq)
 
@@ -342,11 +352,14 @@ class MGLRUPolicy(ReplacementPolicy):
         idx = region.flat_indices(flat)
         mask = flat.present[idx] & flat.accessed[idx]
         if mask.any():
+            tp_tier = _tp.mglru_tier_promote
             for page in flat.pages[idx[mask]]:
                 if page._ilist_owner is not None:
                     page.accessed = False
                     if page.kind is PageKind.FILE:
                         page.tier = min(page.tier + 1, self.params.n_tiers - 1)
+                        if tp_tier is not None:
+                            tp_tier(page.vpn, page.tier)
                     else:
                         self.gens.promote(page)
                     promoted += 1

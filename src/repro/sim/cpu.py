@@ -27,6 +27,7 @@ import heapq
 from typing import List, Tuple, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.trace import tracepoints as _tp
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.sim.engine import Engine
@@ -116,6 +117,8 @@ class CPU:
         else:
             delay = 0
         self._engine.schedule1(delay, self._on_timer, version)
+        if _tp.sched_runnable is not None:
+            _tp.sched_runnable(n)
 
     def _advance(self) -> None:
         """Accrue service up to the current instant."""
@@ -186,5 +189,7 @@ class CPU:
             else:
                 delay = 0
             self._engine.schedule1(delay, self._on_timer, version)
+        if _tp.sched_runnable is not None:
+            _tp.sched_runnable(n)
         for thread in done:
             thread._step(None)

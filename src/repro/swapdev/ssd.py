@@ -21,6 +21,7 @@ from repro.sim.engine import Engine
 from repro.sim.events import Sleep
 from repro.sim.resources import FifoResource
 from repro.swapdev.base import SwapDevice
+from repro.trace import tracepoints as _tp
 
 
 class SSDSwapDevice(SwapDevice):
@@ -73,12 +74,16 @@ class SSDSwapDevice(SwapDevice):
         waited = yield from self._io(self.costs.read_ns)
         self.stats.reads += 1
         self.stats.read_wait_ns += waited
+        if _tp.swap_io_done is not None:
+            _tp.swap_io_done(page.vpn, waited, 0)
 
     def write(self, page: Page) -> Iterator[Any]:
         """Swap-out: one queued 4 KiB write."""
         waited = yield from self._io(self.costs.write_ns)
         self.stats.writes += 1
         self.stats.write_wait_ns += waited
+        if _tp.swap_io_done is not None:
+            _tp.swap_io_done(page.vpn, waited, 1)
 
     @property
     def queue_length(self) -> int:

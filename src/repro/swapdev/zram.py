@@ -27,6 +27,7 @@ from repro.mm.page import Page
 from repro.sim.events import Compute
 from repro.swapdev.base import SwapDevice
 from repro.swapdev.compression import lzo_rle_compressed_size
+from repro.trace import tracepoints as _tp
 
 
 class ZRAMSwapDevice(SwapDevice):
@@ -64,8 +65,13 @@ class ZRAMSwapDevice(SwapDevice):
         (swap-cache semantics), matching how the memory system reuses
         clean swap copies.
         """
-        yield Compute(self._latency_ns(self.costs.read_ns))
+        lat = self._latency_ns(self.costs.read_ns)
+        yield Compute(lat)
         self.stats.reads += 1
+        if _tp.swap_io_done is not None:
+            # ZRAM service is CPU work: the traced latency is the nominal
+            # (undilated) compute cost, not wall time under contention.
+            _tp.swap_io_done(page.vpn, lat, 0)
 
     def write(self, page: Page) -> Iterator[Any]:
         """Swap-out: compress on the reclaiming CPU and store."""
@@ -78,12 +84,15 @@ class ZRAMSwapDevice(SwapDevice):
                 f"zram pool full ({self.pool_bytes}B + {size}B "
                 f"> {self.pool_limit_bytes}B)"
             )
-        yield Compute(self._latency_ns(self.costs.write_ns))
+        lat = self._latency_ns(self.costs.write_ns)
+        yield Compute(lat)
         old = self._stored.pop(page.vpn, 0)
         self.pool_bytes += size - old
         self._stored[page.vpn] = size
         self.pool_peak_bytes = max(self.pool_peak_bytes, self.pool_bytes)
         self.stats.writes += 1
+        if _tp.swap_io_done is not None:
+            _tp.swap_io_done(page.vpn, lat, 1)
 
     def discard(self, page: Page) -> None:
         """Free the stored copy when the system drops a stale slot."""

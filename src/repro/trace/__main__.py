@@ -1,0 +1,155 @@
+"""``python -m repro.trace`` — capture and analyze trial traces.
+
+Capture one grid cell with tracing on and write the full bundle
+(Chrome trace JSON, event/vmstat CSVs, raw ``.npz``)::
+
+    PYTHONPATH=src python -m repro.trace capture \\
+        --workload pagerank --policy mglru --swap ssd --ratio 0.5 \\
+        --out traces/pagerank-mglru
+
+Load ``trace.json`` at https://ui.perfetto.dev (or ``chrome://tracing``)
+to see fault/eviction/swap-I/O slices and the vmstat counter tracks.
+
+Re-analyze a saved capture offline::
+
+    PYTHONPATH=src python -m repro.trace analyze traces/pagerank-mglru/trace.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from dataclasses import asdict
+
+from repro._units import MS
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.policies import POLICY_FACTORIES
+from repro.trace.analyze import summarize
+from repro.trace.config import TraceConfig
+from repro.trace.export import (
+    chrome_trace,
+    load_capture,
+    validate_chrome_trace,
+    write_capture,
+)
+from repro.workloads import WORKLOAD_FACTORIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Capture and analyze simulator traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cap = sub.add_parser("capture", help="run one traced trial")
+    cap.add_argument(
+        "--workload",
+        default="pagerank",
+        choices=sorted(WORKLOAD_FACTORIES),
+    )
+    cap.add_argument(
+        "--policy", default="mglru", choices=sorted(POLICY_FACTORIES)
+    )
+    cap.add_argument("--swap", default="ssd", choices=("ssd", "zram"))
+    cap.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="memory capacity as a fraction of the workload footprint",
+    )
+    cap.add_argument("--seed", type=int, default=10_000)
+    cap.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("traces"),
+        help="output directory for the trace bundle",
+    )
+    cap.add_argument(
+        "--interval-ms",
+        type=float,
+        default=10.0,
+        help="vmstat snapshot interval in simulated milliseconds",
+    )
+    cap.add_argument(
+        "--capacity",
+        type=int,
+        default=TraceConfig.ringbuf_capacity,
+        help="trace ring-buffer slots (oldest events drop beyond this)",
+    )
+    cap.add_argument(
+        "--events",
+        default="",
+        help="comma-separated tracepoint names (default: all)",
+    )
+    cap.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip Chrome-trace schema validation of the exported JSON",
+    )
+
+    ana = sub.add_parser("analyze", help="summarize a saved capture")
+    ana.add_argument("capture", type=pathlib.Path, help="path to trace.npz")
+    return parser
+
+
+def _cmd_capture(args: argparse.Namespace) -> int:
+    events = tuple(e for e in args.events.split(",") if e)
+    trace_config = TraceConfig(
+        ringbuf_capacity=args.capacity,
+        vmstat_interval_ns=max(1, int(args.interval_ms * MS)),
+        events=events,
+    )
+    system_config = SystemConfig(
+        policy=args.policy, swap=args.swap, capacity_ratio=args.ratio
+    )
+    print(
+        f"capturing {args.workload}:{system_config.label} "
+        f"seed={args.seed} ...",
+        flush=True,
+    )
+    result = run_trial(
+        args.workload, system_config, args.seed, trace=trace_config
+    )
+    capture = result.trace
+    assert capture is not None
+    paths = write_capture(capture, args.out)
+    print(summarize(capture))
+    print()
+    for kind, path in paths.items():
+        print(f"wrote {kind:<12} {path}")
+    if not args.no_validate:
+        problems = validate_chrome_trace(chrome_trace(capture))
+        if problems:
+            print("chrome trace validation FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print("chrome trace validation OK "
+              "(load trace.json at https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    capture = load_capture(args.capture)
+    print(summarize(capture))
+    config = {
+        k: (list(v) if isinstance(v, tuple) else v)
+        for k, v in asdict(capture.config).items()
+    }
+    print()
+    print(f"capture config: {config}")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "capture":
+        return _cmd_capture(args)
+    return _cmd_analyze(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Offline analyses over one :class:`~repro.trace.session.TraceCapture`.
+
+Three views the paper's characterization leans on:
+
+- **Refault-distance histogram** — log2-bucketed time between an
+  eviction and the page's next fault (``mm_vmscan_refault``).  Short
+  distances mean the policy is evicting its own working set; the
+  shape separates thrash from healthy capacity misses.
+- **Cost breakdown** — where reclaim CPU/wait time went: linear PTE
+  scanning vs reverse-map walks vs swap-device I/O vs direct-reclaim
+  stalls.  Computed from the vmstat final row plus the trial's cost
+  constants (stashed in ``capture.meta``), mirroring the scan-cheap /
+  rmap-expensive tradeoff the paper attributes MG-LRU's wins to.
+- **Timeline summary** — the vmstat series resampled into coarse
+  buckets, showing fault/eviction rates and the free-frame sawtooth
+  over the life of the trial.
+
+``summarize`` renders all three as the text report the
+``python -m repro.trace`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.trace.session import TraceCapture
+
+
+@dataclass
+class RefaultHistogram:
+    """Log2-bucketed inter-refault distances (nanoseconds)."""
+
+    #: (bucket lower bound ns, count), ascending.
+    buckets: List[Tuple[int, int]]
+    n_refaults: int
+    median_ns: float
+    p90_ns: float
+
+
+def refault_distance_histogram(capture: TraceCapture) -> RefaultHistogram:
+    """Histogram of time between eviction and re-fault per page."""
+    recs = capture.events_named("mm_vmscan_refault")
+    distances = recs["b"].astype(np.int64)
+    distances = distances[distances >= 0]
+    if distances.shape[0] == 0:
+        return RefaultHistogram(
+            buckets=[], n_refaults=0, median_ns=0.0, p90_ns=0.0
+        )
+    exponents = np.floor(np.log2(np.maximum(distances, 1))).astype(np.int64)
+    buckets = [
+        (int(2**e), int(count))
+        for e, count in zip(*np.unique(exponents, return_counts=True))
+    ]
+    return RefaultHistogram(
+        buckets=buckets,
+        n_refaults=int(distances.shape[0]),
+        median_ns=float(np.median(distances)),
+        p90_ns=float(np.percentile(distances, 90)),
+    )
+
+
+def cost_breakdown(capture: TraceCapture) -> Dict[str, int]:
+    """Estimated nanoseconds per reclaim cost class for the trial.
+
+    ``pte_scan`` and ``rmap_walk`` are *modeled* CPU time (final
+    counters x the trial's cost constants); ``swap_io_wait`` is the sum
+    of observed ``swap_io_done`` latencies; ``direct_reclaim_stall`` is
+    the counter the fault path accumulates while it waits for frames.
+    """
+    # Imported lazily: repro.trace must not pull repro.mm at import time
+    # (every instrumented mm/sim module imports repro.trace.tracepoints).
+    from repro.mm.costs import CostModel
+
+    final = capture.vmstat.final()
+    costs = CostModel(**capture.meta.get("costs", {}))
+    io_recs = capture.events_named("swap_io_done")
+    return {
+        "pte_scan_ns": final.get("ptes_scanned", 0) * costs.pte_scan_ns
+        + final.get("ptes_scanned_nearby", 0) * costs.pte_nearby_scan_ns,
+        "rmap_walk_ns": final.get("rmap_walks", 0)
+        * (costs.rmap_walk_base_ns + costs.rmap_walk_jitter_ns),
+        "swap_io_wait_ns": int(io_recs["b"].astype(np.int64).sum()),
+        "direct_reclaim_stall_ns": final.get("direct_reclaim_stall_ns", 0),
+    }
+
+
+def timeline_summary(
+    capture: TraceCapture, n_buckets: int = 10
+) -> List[Dict[str, float]]:
+    """The vmstat series resampled into ``n_buckets`` coarse rows.
+
+    Each row reports the bucket end time, fault/eviction *rates* (per
+    simulated millisecond) and the mean free-frame gauge across the
+    snapshots the bucket covers.
+    """
+    series = capture.vmstat
+    n = series.n_samples
+    if n < 2:
+        return []
+    n_buckets = min(n_buckets, n - 1)
+    edges = np.linspace(0, n - 1, n_buckets + 1).astype(np.int64)
+    times = series.times_ns
+    rows: List[Dict[str, float]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        if hi <= lo:
+            continue
+        span_ms = max((int(times[hi]) - int(times[lo])) / 1e6, 1e-9)
+        row: Dict[str, float] = {"t_end_ms": int(times[hi]) / 1e6}
+        for name in ("major_faults", "minor_faults", "evictions", "refaults"):
+            col = series.columns[name]
+            row[f"{name}_per_ms"] = (int(col[hi]) - int(col[lo])) / span_ms
+        free = series.columns["free_frames"][lo : hi + 1]
+        row["free_frames_mean"] = float(free.mean())
+        rows.append(row)
+    return rows
+
+
+def summarize(capture: TraceCapture) -> str:
+    """Render the capture's headline analyses as a text report."""
+    lines: List[str] = []
+    meta = capture.meta
+    cell = "/".join(
+        str(meta[k]) for k in ("workload", "policy", "swap") if k in meta
+    )
+    title = f"trace summary: {cell}" if cell else "trace summary"
+    lines.append(title)
+    lines.append("=" * len(title))
+    runtime_ns = int(meta.get("runtime_ns", 0))
+    lines.append(
+        f"runtime {runtime_ns / 1e9:.3f} s sim | "
+        f"{capture.total_events} events emitted, "
+        f"{capture.n_events} kept, {capture.dropped_events} dropped | "
+        f"{capture.vmstat.n_samples} vmstat rows"
+        + (" (truncated)" if capture.vmstat.truncated else "")
+    )
+
+    final = capture.vmstat.final()
+    if final:
+        lines.append("")
+        lines.append("final counters")
+        lines.append("--------------")
+        for name in (
+            "major_faults",
+            "minor_faults",
+            "hits",
+            "evictions",
+            "refaults",
+            "ptes_scanned",
+            "rmap_walks",
+        ):
+            if name in final:
+                lines.append(f"  {name:<24} {final[name]:>14,}")
+
+    breakdown = cost_breakdown(capture)
+    total = sum(breakdown.values())
+    lines.append("")
+    lines.append("reclaim cost breakdown (modeled)")
+    lines.append("--------------------------------")
+    for name, ns in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * ns / total if total else 0.0
+        lines.append(f"  {name:<24} {ns / 1e6:>12.3f} ms  {share:5.1f}%")
+
+    hist = refault_distance_histogram(capture)
+    lines.append("")
+    lines.append(f"refault distances ({hist.n_refaults} refaults)")
+    lines.append("-----------------")
+    if hist.n_refaults:
+        lines.append(
+            f"  median {hist.median_ns / 1e6:.3f} ms | "
+            f"p90 {hist.p90_ns / 1e6:.3f} ms"
+        )
+        peak = max(count for _, count in hist.buckets)
+        for lower, count in hist.buckets:
+            bar = "#" * max(1, int(40 * count / peak))
+            lines.append(f"  >= {lower / 1e6:>10.3f} ms  {count:>8}  {bar}")
+    else:
+        lines.append("  none recorded")
+
+    rows = timeline_summary(capture)
+    if rows:
+        lines.append("")
+        lines.append("timeline (rates per simulated ms)")
+        lines.append("---------------------------------")
+        lines.append(
+            f"  {'t_end_ms':>10} {'major/ms':>10} {'evict/ms':>10} "
+            f"{'refault/ms':>11} {'free_frames':>12}"
+        )
+        for row in rows:
+            lines.append(
+                f"  {row['t_end_ms']:>10.1f} "
+                f"{row['major_faults_per_ms']:>10.2f} "
+                f"{row['evictions_per_ms']:>10.2f} "
+                f"{row['refaults_per_ms']:>11.2f} "
+                f"{row['free_frames_mean']:>12.1f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Trace capture configuration.
+
+A :class:`TraceConfig` travels with an experiment the way
+``SystemConfig`` does: it is a frozen dataclass, safe to hash into
+result-cache keys and to pickle into ``REPRO_JOBS`` worker processes.
+Each worker builds its own tracepoint probes and ring buffer from the
+config and ships the captured buffers back inside the trial result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro._units import MS
+from repro.errors import ConfigError
+from repro.trace import tracepoints
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs for one trial's trace capture.
+
+    ``events`` selects which tracepoints to record (empty = all of
+    :data:`repro.trace.tracepoints.TRACEPOINTS`).  The ring buffer keeps
+    the *newest* ``ringbuf_capacity`` events, like a kernel ftrace ring:
+    overwrites are counted, never silent.  The vmstat sampler snapshots
+    the counter table every ``vmstat_interval_ns`` of *simulated* time,
+    up to ``vmstat_max_samples`` rows (a final snapshot is always taken
+    at trial end, so the last row equals the trial's aggregate
+    counters).
+    """
+
+    enabled: bool = True
+    #: Ring-buffer slots (each event is one ~34-byte record).
+    ringbuf_capacity: int = 1 << 17
+    #: Simulated time between vmstat snapshots.
+    vmstat_interval_ns: int = 10 * MS
+    #: Hard cap on periodic snapshots (bounds memory on long trials).
+    vmstat_max_samples: int = 1 << 16
+    #: Tracepoints to record; empty tuple means all of them.
+    events: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ringbuf_capacity < 1:
+            raise ConfigError("ring buffer needs at least one slot")
+        if self.vmstat_interval_ns < 1:
+            raise ConfigError("vmstat interval must be >= 1 ns")
+        if self.vmstat_max_samples < 1:
+            raise ConfigError("need at least one vmstat sample")
+        for name in self.events:
+            if name not in tracepoints.TRACEPOINTS:
+                raise ConfigError(
+                    f"unknown tracepoint {name!r} in TraceConfig.events"
+                )
+
+    def event_names(self) -> Tuple[str, ...]:
+        """The tracepoints this config records (resolving the empty
+        tuple to the full set)."""
+        if self.events:
+            return self.events
+        return tuple(tracepoints.TRACEPOINTS)

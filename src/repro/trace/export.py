@@ -1,0 +1,448 @@
+"""Trace exporters: Chrome trace-event JSON, CSV, and raw ``.npz``.
+
+The Chrome trace format (``chrome://tracing`` / Perfetto's legacy JSON
+importer) is a list of events with microsecond timestamps:
+
+- **B/E pairs** render latency-bearing events (faults, swap I/Os,
+  evictions, direct-reclaim stalls, aging walks) as duration slices.
+  Each category gets its own set of *lanes* (one Chrome ``tid`` per
+  lane): an event goes to the first lane whose previous slice has
+  ended, so concurrent operations never produce mis-nested B/E pairs.
+- **C events** render vmstat counters and gauges as counter tracks.
+- **i events** render point occurrences (scans, refaults, promotions).
+
+``write_capture`` emits the full per-trial bundle: ``trace.json``
+(Perfetto-loadable), ``events.csv``, ``vmstat.csv`` and ``capture.npz``
+(raw arrays, reloadable with :func:`load_capture` for offline
+analysis).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.trace import tracepoints
+from repro.trace.config import TraceConfig
+from repro.trace.session import TraceCapture
+from repro.trace.vmstat import GAUGES, VmStatSeries
+
+#: Tracepoints whose ``b`` payload is a latency, rendered as B/E slices.
+DURATION_EVENTS: Dict[str, str] = {
+    "mm_fault_major": "fault/major",
+    "mm_fault_minor": "fault/minor",
+    "swap_io_done": "swap-io",
+    "mm_vmscan_evict": "evict",
+    "mm_vmscan_direct_stall": "direct-reclaim",
+    "mglru_age": "mglru-aging",
+}
+#: Tracepoints rendered as counter tracks: name → (track, payload field).
+COUNTER_EVENTS: Dict[str, Tuple[str, str]] = {
+    "mm_watermark": ("mm.free_frames", "b"),
+    "swap_slot_state": ("swap.slots_used", "a"),
+    "sched_runnable": ("cpu.runnable", "a"),
+    "mglru_gen_step": ("mglru.nr_gens", "span"),  # span = b - a + 1
+}
+#: vmstat columns exported as counter tracks (cumulative counters would
+#: render as featureless ramps, so counters are exported as per-interval
+#: rates while gauges are exported as-is).
+VMSTAT_RATE_TRACKS = (
+    "major_faults",
+    "minor_faults",
+    "evictions",
+    "refaults",
+    "ptes_scanned",
+    "rmap_walks",
+    "promotions",
+)
+VMSTAT_GAUGE_TRACKS = GAUGES
+
+_PID = 1
+
+
+def _category_tid(
+    tid_names: Dict[int, str], category: str, lane: int, next_tid: List[int]
+) -> int:
+    """Stable tid for (category, lane), registering its display name."""
+    for tid, name in tid_names.items():
+        if name == f"{category}/{lane}":
+            return tid
+    tid = next_tid[0]
+    next_tid[0] += 1
+    tid_names[tid] = f"{category}/{lane}"
+    return tid
+
+
+def chrome_trace(capture: TraceCapture) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for one capture."""
+    events: List[Dict[str, Any]] = []
+    tid_names: Dict[int, str] = {0: "events"}
+    lanes: Dict[str, List[int]] = {}
+    next_tid = [1]
+
+    records = capture.events
+    ev_names = tracepoints.EVENT_NAMES
+    for rec in records:
+        name = ev_names.get(int(rec["ev"]))
+        if name is None:
+            continue
+        ts_ns = int(rec["ts"])
+        a, b, c = int(rec["a"]), int(rec["b"]), int(rec["c"])
+        if name in DURATION_EVENTS:
+            category = DURATION_EVENTS[name]
+            start_ns = ts_ns - b
+            if start_ns < 0:
+                start_ns = 0
+            # First lane of this category whose previous slice ended.
+            ends = lanes.setdefault(category, [])
+            lane = None
+            for i, end in enumerate(ends):
+                if end <= start_ns:
+                    lane = i
+                    break
+            if lane is None:
+                lane = len(ends)
+                ends.append(0)
+            ends[lane] = ts_ns
+            tid = _category_tid(tid_names, category, lane, next_tid)
+            args = _payload_args(name, a, b, c)
+            events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "B",
+                    "ts": start_ns / 1e3,
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "E",
+                    "ts": ts_ns / 1e3,
+                    "pid": _PID,
+                    "tid": tid,
+                }
+            )
+        elif name in COUNTER_EVENTS:
+            track, fld = COUNTER_EVENTS[name]
+            if fld == "span":
+                value = b - a + 1
+            else:
+                value = {"a": a, "b": b, "c": c}[fld]
+            events.append(
+                {
+                    "name": track,
+                    "ph": "C",
+                    "ts": ts_ns / 1e3,
+                    "pid": _PID,
+                    "args": {"value": value},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": name,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts_ns / 1e3,
+                    "pid": _PID,
+                    "tid": 0,
+                    "args": _payload_args(name, a, b, c),
+                }
+            )
+
+    events.extend(_vmstat_counter_events(capture.vmstat))
+    # One global sort keeps every importer happy; Python's sort is
+    # stable, so each B stays ahead of its same-timestamp E (pairs are
+    # appended B-then-E in completion order; a lane never starts a new
+    # slice before the previous one ended).
+    events.sort(key=lambda e: e["ts"])
+
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "args": {"name": _process_label(capture)},
+        }
+    ]
+    for tid, name in sorted(tid_names.items()):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "total_events": capture.total_events,
+            "dropped_events": capture.dropped_events,
+            **{
+                k: v
+                for k, v in capture.meta.items()
+                if isinstance(v, (str, int, float))
+            },
+        },
+    }
+
+
+def _payload_args(name: str, a: int, b: int, c: int) -> Dict[str, int]:
+    labels = tracepoints.TRACEPOINTS[name]
+    return {
+        label: value
+        for label, value in zip(labels, (a, b, c))
+        if label != "unused"
+    }
+
+
+def _process_label(capture: TraceCapture) -> str:
+    meta = capture.meta
+    cell = "/".join(
+        str(meta[k]) for k in ("workload", "policy", "swap") if k in meta
+    )
+    return f"repro-sim {cell}" if cell else "repro-sim"
+
+
+def _vmstat_counter_events(series: VmStatSeries) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    times = series.times_ns
+    if times.shape[0] == 0:
+        return events
+    for name in VMSTAT_RATE_TRACKS:
+        if name not in series.columns:
+            continue
+        deltas = series.deltas(name)
+        for t, v in zip(times, deltas):
+            events.append(
+                {
+                    "name": f"vmstat.{name}",
+                    "ph": "C",
+                    "ts": int(t) / 1e3,
+                    "pid": _PID,
+                    "args": {"value": int(v)},
+                }
+            )
+    for name in VMSTAT_GAUGE_TRACKS:
+        if name not in series.columns:
+            continue
+        col = series.columns[name]
+        for t, v in zip(times, col):
+            events.append(
+                {
+                    "name": f"vmstat.{name}",
+                    "ph": "C",
+                    "ts": int(t) / 1e3,
+                    "pid": _PID,
+                    "args": {"value": int(v)},
+                }
+            )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Schema checks for an exported trace; returns problem strings.
+
+    Pinned properties: the event list is present and non-trivial,
+    non-metadata timestamps are sorted, every B has a matching E on its
+    (pid, tid) with proper nesting, and counter events carry numeric
+    values.  An empty return means the trace is well-formed.
+    """
+    problems: List[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    last_ts = None
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {i}: timestamp {ts} < previous {last_ts} (unsorted)"
+            )
+        last_ts = ts
+        if ph == "B":
+            key = (ev.get("pid"), ev.get("tid"))
+            stacks.setdefault(key, []).append(ev.get("name"))
+        elif ph == "E":
+            key = (ev.get("pid"), ev.get("tid"))
+            stack = stacks.get(key)
+            if not stack:
+                problems.append(f"event {i}: E without matching B on {key}")
+            else:
+                opened = stack.pop()
+                if ev.get("name") not in (None, opened):
+                    problems.append(
+                        f"event {i}: E name {ev.get('name')!r} does not "
+                        f"match open B {opened!r} on {key}"
+                    )
+        elif ph == "C":
+            args = ev.get("args", {})
+            if not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                problems.append(f"event {i}: counter with non-numeric args")
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unclosed B events on {key}: {', '.join(stack)}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+
+
+def write_chrome_trace(capture: TraceCapture, path: pathlib.Path) -> None:
+    """Write the Perfetto-loadable Chrome trace JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(chrome_trace(capture), fh)
+        fh.write("\n")
+
+
+def write_events_csv(capture: TraceCapture, path: pathlib.Path) -> None:
+    """Write the raw event records as CSV (one row per event)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ev_names = tracepoints.EVENT_NAMES
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["ts_ns", "event", "a", "b", "c"])
+        for rec in capture.events:
+            writer.writerow(
+                [
+                    int(rec["ts"]),
+                    ev_names.get(int(rec["ev"]), f"ev{int(rec['ev'])}"),
+                    int(rec["a"]),
+                    int(rec["b"]),
+                    int(rec["c"]),
+                ]
+            )
+
+
+def write_vmstat_csv(capture: TraceCapture, path: pathlib.Path) -> None:
+    """Write the vmstat time series as CSV (one row per snapshot)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    series = capture.vmstat
+    names = list(series.columns)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_ns"] + names)
+        for i, t in enumerate(series.times_ns):
+            writer.writerow(
+                [int(t)] + [int(series.columns[n][i]) for n in names]
+            )
+
+
+def save_capture(capture: TraceCapture, path: pathlib.Path) -> None:
+    """Persist raw capture arrays to ``.npz`` for offline analysis."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    series = capture.vmstat
+    payload: Dict[str, Any] = {
+        "events": capture.events,
+        "vmstat_times_ns": series.times_ns,
+        "header": np.array(
+            [
+                json.dumps(
+                    {
+                        "total_events": capture.total_events,
+                        "dropped_events": capture.dropped_events,
+                        "vmstat_interval_ns": series.interval_ns,
+                        "vmstat_truncated": series.truncated,
+                        "meta": capture.meta,
+                        "config": {
+                            "enabled": capture.config.enabled,
+                            "ringbuf_capacity": capture.config.ringbuf_capacity,
+                            "vmstat_interval_ns": capture.config.vmstat_interval_ns,
+                            "vmstat_max_samples": capture.config.vmstat_max_samples,
+                            "events": list(capture.config.events),
+                        },
+                    }
+                )
+            ]
+        ),
+    }
+    for name, col in series.columns.items():
+        payload[f"vm_{name}"] = col
+    np.savez_compressed(path, **payload)
+
+
+def load_capture(path: pathlib.Path) -> TraceCapture:
+    """Reload a capture written by :func:`save_capture`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            header = json.loads(str(data["header"][0]))
+        except KeyError:
+            raise ConfigError(f"{path} is not a repro trace capture") from None
+        config_dict = dict(header["config"])
+        config_dict["events"] = tuple(config_dict.get("events", ()))
+        series = VmStatSeries(
+            interval_ns=int(header["vmstat_interval_ns"]),
+            times_ns=np.asarray(data["vmstat_times_ns"]),
+            columns={
+                key[3:]: np.asarray(data[key])
+                for key in data.files
+                if key.startswith("vm_")
+            },
+            truncated=bool(header.get("vmstat_truncated", False)),
+        )
+        return TraceCapture(
+            config=TraceConfig(**config_dict),
+            events=np.asarray(data["events"]),
+            total_events=int(header["total_events"]),
+            dropped_events=int(header["dropped_events"]),
+            vmstat=series,
+            meta=dict(header["meta"]),
+        )
+
+
+def write_capture(
+    capture: TraceCapture,
+    out_dir: pathlib.Path,
+    prefix: str = "trace",
+) -> Dict[str, pathlib.Path]:
+    """Write the full bundle for one trial; returns name → path."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "chrome": out_dir / f"{prefix}.json",
+        "events_csv": out_dir / f"{prefix}.events.csv",
+        "vmstat_csv": out_dir / f"{prefix}.vmstat.csv",
+        "capture": out_dir / f"{prefix}.npz",
+    }
+    write_chrome_trace(capture, paths["chrome"])
+    write_events_csv(capture, paths["events_csv"])
+    write_vmstat_csv(capture, paths["vmstat_csv"])
+    save_capture(capture, paths["capture"])
+    return paths

@@ -1,0 +1,107 @@
+"""Fixed-capacity structured ring buffer for trace events.
+
+Modeled on the kernel's ftrace per-CPU ring: a bounded buffer that
+overwrites the *oldest* events when full and counts every overwrite —
+capture never allocates during a trial and never loses track of how
+much it dropped.
+
+Storage is columnar (one flat numpy array per field) because scalar
+appends into parallel arrays are ~2x faster than writing a structured
+``np.void`` row; :meth:`records` assembles the conventional record
+array — fields ``ts`` (ns), ``ev`` (event id), ``a``/``b``/``c``
+(payload, see :data:`repro.trace.tracepoints.TRACEPOINTS`) — in oldest→
+newest order for export and analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: The record layout :meth:`TraceRingBuffer.records` returns.
+EVENT_DTYPE = np.dtype(
+    [("ts", "i8"), ("ev", "u2"), ("a", "i8"), ("b", "i8"), ("c", "i8")]
+)
+
+
+class TraceRingBuffer:
+    """Ring of trace-event records with overflow accounting."""
+
+    __slots__ = ("capacity", "_ts", "_ev", "_a", "_b", "_c", "_pos", "total")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError("ring buffer needs at least one slot")
+        self.capacity = capacity
+        self._ts = np.zeros(capacity, dtype=np.int64)
+        self._ev = np.zeros(capacity, dtype=np.uint16)
+        self._a = np.zeros(capacity, dtype=np.int64)
+        self._b = np.zeros(capacity, dtype=np.int64)
+        self._c = np.zeros(capacity, dtype=np.int64)
+        #: Next write position.
+        self._pos = 0
+        #: Lifetime appends (monotonic; ``total - n_stored`` were dropped).
+        self.total = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def append(
+        self, ts: int, ev: int, a: int = 0, b: int = 0, c: int = 0
+    ) -> None:
+        """Record one event, overwriting the oldest when full."""
+        i = self._pos
+        self._ts[i] = ts
+        self._ev[i] = ev
+        self._a[i] = a
+        self._b[i] = b
+        self._c[i] = c
+        i += 1
+        self._pos = i if i < self.capacity else 0
+        self.total += 1
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def n_stored(self) -> int:
+        """Events currently held (≤ capacity)."""
+        return self.total if self.total < self.capacity else self.capacity
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring wrapped."""
+        overflow = self.total - self.capacity
+        return overflow if overflow > 0 else 0
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+
+    def records(self) -> np.ndarray:
+        """The stored events as a structured array, oldest → newest."""
+        n = self.n_stored
+        out = np.empty(n, dtype=EVENT_DTYPE)
+        if n < self.capacity:
+            order = slice(0, n)
+            out["ts"] = self._ts[order]
+            out["ev"] = self._ev[order]
+            out["a"] = self._a[order]
+            out["b"] = self._b[order]
+            out["c"] = self._c[order]
+        else:
+            # Wrapped: oldest event sits at the write cursor.
+            split = self._pos
+            for name, col in (
+                ("ts", self._ts),
+                ("ev", self._ev),
+                ("a", self._a),
+                ("b", self._b),
+                ("c", self._c),
+            ):
+                out[name][: n - split] = col[split:]
+                out[name][n - split :] = col[:split]
+        return out

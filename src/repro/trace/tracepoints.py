@@ -1,0 +1,136 @@
+"""Kernel-style tracepoints: named hook points, near-zero cost disabled.
+
+Linux exposes its reclaim machinery through *static tracepoints*
+(``trace_mm_vmscan_direct_reclaim_begin``, ``trace_mm_vmscan_lru_isolate``
+and friends) that compile down to a test-and-branch while no probe is
+attached.  This module reproduces that shape in Python: every tracepoint
+is a module-level name that is ``None`` while disabled, so an
+instrumented hot path pays exactly one module-attribute load plus an
+``is not None`` test::
+
+    from repro.trace import tracepoints as tp
+    ...
+    if tp.mm_vmscan_evict is not None:
+        tp.mm_vmscan_evict(page.vpn, latency_ns, wrote_back)
+
+Probes are plain callables taking up to three integer arguments whose
+meaning is tracepoint-specific (:data:`TRACEPOINTS` maps each name to
+its argument labels).  Probes must be *passive*: they may record, but
+must not mutate simulator state, draw random numbers, or raise — the
+contract that keeps traced runs bit-identical to untraced ones.
+
+Multiple probes may attach to one tracepoint (a multicast shim fans the
+call out in attach order), matching the kernel's probe lists.  Probes
+are process-global, like the kernel's: one trial traces at a time per
+process, which is exactly the shape of the ``REPRO_JOBS`` worker pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Every tracepoint, with the meaning of its (a, b, c) integer payload.
+#: The order here fixes the numeric event ids stored in ring buffers.
+TRACEPOINTS: Dict[str, Tuple[str, str, str]] = {
+    # -- fault path ----------------------------------------------------
+    "mm_fault_minor": ("vpn", "latency_ns", "write"),
+    "mm_fault_major": ("vpn", "latency_ns", "write"),
+    "mm_vmscan_refault": ("vpn", "inter_refault_ns", "refault_count"),
+    # -- reclaim -------------------------------------------------------
+    "mm_vmscan_scan": ("vpn", "young", "list_id"),
+    "mm_vmscan_evict": ("vpn", "latency_ns", "wrote_back"),
+    "mm_vmscan_direct_stall": ("reclaimed", "latency_ns", "retry"),
+    "mm_watermark": ("level", "free_frames", "capacity"),
+    "mm_pte_flat_rebuild": ("n_pages", "n_runs", "unused"),
+    # -- swap ----------------------------------------------------------
+    "swap_io_done": ("vpn", "latency_ns", "is_write"),
+    "swap_slot_state": ("slots_used", "n_slots", "unused"),
+    # -- MG-LRU --------------------------------------------------------
+    "mglru_age": ("max_seq", "latency_ns", "regions_scanned"),
+    "mglru_gen_step": ("min_seq", "max_seq", "unused"),
+    "mglru_tier_promote": ("vpn", "tier", "unused"),
+    # -- scheduler -----------------------------------------------------
+    "sched_runnable": ("n_runnable", "unused", "unused"),
+}
+
+#: Numeric event ids for ring-buffer storage (0 is reserved: empty slot).
+EVENT_IDS: Dict[str, int] = {
+    name: i + 1 for i, name in enumerate(TRACEPOINTS)
+}
+#: Reverse map, id → tracepoint name.
+EVENT_NAMES: Dict[int, str] = {i: name for name, i in EVENT_IDS.items()}
+
+Probe = Callable[..., None]
+
+#: Attached probes per tracepoint, in attach order.
+_probes: Dict[str, List[Probe]] = {name: [] for name in TRACEPOINTS}
+
+# Module-level hook slots — one per tracepoint, None while disabled.
+# (Assigned dynamically below so the list above stays the single source
+# of truth; static readers: the names are exactly TRACEPOINTS' keys.)
+for _name in TRACEPOINTS:
+    globals()[_name] = None
+del _name
+
+
+class _Multicast:
+    """Fan one tracepoint call out to several probes, in attach order."""
+
+    __slots__ = ("probes",)
+
+    def __init__(self, probes: List[Probe]) -> None:
+        self.probes = probes
+
+    def __call__(self, a: int = 0, b: int = 0, c: int = 0) -> None:
+        for probe in self.probes:
+            probe(a, b, c)
+
+
+def _check_name(name: str) -> None:
+    if name not in TRACEPOINTS:
+        raise ConfigError(
+            f"unknown tracepoint {name!r}; known: {', '.join(TRACEPOINTS)}"
+        )
+
+
+def _refresh(name: str) -> None:
+    """Recompute the module-level slot for *name* from its probe list."""
+    probes = _probes[name]
+    if not probes:
+        slot: Optional[Probe] = None
+    elif len(probes) == 1:
+        slot = probes[0]
+    else:
+        slot = _Multicast(list(probes))
+    globals()[name] = slot
+
+
+def attach(name: str, probe: Probe) -> None:
+    """Attach *probe* to tracepoint *name* (enables the hook point)."""
+    _check_name(name)
+    _probes[name].append(probe)
+    _refresh(name)
+
+
+def detach(name: str, probe: Probe) -> None:
+    """Detach one previously attached probe (no-op if not attached)."""
+    _check_name(name)
+    try:
+        _probes[name].remove(probe)
+    except ValueError:
+        return
+    _refresh(name)
+
+
+def detach_all() -> None:
+    """Detach every probe from every tracepoint (test/trial teardown)."""
+    for name in TRACEPOINTS:
+        _probes[name].clear()
+        globals()[name] = None
+
+
+def active() -> Tuple[str, ...]:
+    """Names of tracepoints that currently have at least one probe."""
+    return tuple(name for name in TRACEPOINTS if _probes[name])

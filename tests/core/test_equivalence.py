@@ -40,7 +40,13 @@ def _config(policy: str, swap: str) -> SystemConfig:
 
 
 @pytest.mark.parametrize(
-    "policy,swap", [("clock", "ssd"), ("mglru", "zram")]
+    "policy,swap",
+    [
+        ("clock", "ssd"),
+        ("mglru", "zram"),
+        ("fifo", "ssd"),
+        ("random", "zram"),
+    ],
 )
 def test_fast_path_bit_identical(monkeypatch, policy, swap):
     """Fast-on and fast-off trials agree on every stat, to the bit."""

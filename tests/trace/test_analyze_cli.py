@@ -1,0 +1,129 @@
+"""Offline analyses and the ``python -m repro.trace`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.trace.__main__ import main
+from repro.trace.analyze import (
+    cost_breakdown,
+    refault_distance_histogram,
+    summarize,
+    timeline_summary,
+)
+from repro.trace.export import validate_chrome_trace
+
+from .conftest import tiny_tpch_factory
+
+
+def test_refault_histogram_counts(capture):
+    hist = refault_distance_histogram(capture)
+    assert hist.n_refaults == sum(count for _, count in hist.buckets)
+    assert hist.n_refaults >= 0
+    if hist.n_refaults:
+        assert hist.median_ns <= hist.p90_ns
+        lowers = [lower for lower, _ in hist.buckets]
+        assert lowers == sorted(lowers)
+
+
+def test_cost_breakdown_keys_and_magnitudes(capture):
+    breakdown = cost_breakdown(capture)
+    assert set(breakdown) == {
+        "pte_scan_ns",
+        "rmap_walk_ns",
+        "swap_io_wait_ns",
+        "direct_reclaim_stall_ns",
+    }
+    assert all(v >= 0 for v in breakdown.values())
+    # The traced cell evicts heavily over SSD: I/O wait dominates.
+    assert breakdown["swap_io_wait_ns"] > 0
+
+
+def test_timeline_summary_rows(capture):
+    rows = timeline_summary(capture, n_buckets=8)
+    assert 0 < len(rows) <= 8
+    ends = [row["t_end_ms"] for row in rows]
+    assert ends == sorted(ends)
+    for row in rows:
+        assert row["free_frames_mean"] >= 0
+        assert row["evictions_per_ms"] >= 0
+
+
+def test_summarize_mentions_headlines(capture):
+    report = summarize(capture)
+    assert "trace summary: tpch/mglru/ssd" in report
+    assert "reclaim cost breakdown" in report
+    assert "refault distances" in report
+    assert "vmstat rows" in report
+
+
+@pytest.fixture()
+def tiny_tpch(monkeypatch):
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES, "tpch", tiny_tpch_factory
+    )
+
+
+def test_cli_capture_then_analyze(tiny_tpch, tmp_path, capsys):
+    out_dir = tmp_path / "bundle"
+    rc = main(
+        [
+            "capture",
+            "--workload",
+            "tpch",
+            "--policy",
+            "clock",
+            "--swap",
+            "zram",
+            "--ratio",
+            "0.5",
+            "--seed",
+            "77",
+            "--interval-ms",
+            "1",
+            "--out",
+            str(out_dir),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "chrome trace validation OK" in captured.out
+    trace_json = json.loads((out_dir / "trace.json").read_text())
+    assert validate_chrome_trace(trace_json) == []
+
+    rc = main(["analyze", str(out_dir / "trace.npz")])
+    analyzed = capsys.readouterr()
+    assert rc == 0
+    assert "trace summary: tpch/clock/zram" in analyzed.out
+    assert "capture config:" in analyzed.out
+
+
+def test_cli_capture_event_subset(tiny_tpch, tmp_path, capsys):
+    out_dir = tmp_path / "subset"
+    rc = main(
+        [
+            "capture",
+            "--workload",
+            "tpch",
+            "--seed",
+            "77",
+            "--interval-ms",
+            "1",
+            "--events",
+            "mm_vmscan_evict,swap_io_done",
+            "--out",
+            str(out_dir),
+        ]
+    )
+    capsys.readouterr()
+    assert rc == 0
+    from repro.trace.export import load_capture
+    from repro.trace.tracepoints import EVENT_IDS
+
+    capture = load_capture(out_dir / "trace.npz")
+    allowed = {EVENT_IDS["mm_vmscan_evict"], EVENT_IDS["swap_io_done"]}
+    assert set(capture.events["ev"].tolist()) <= allowed
+    assert capture.n_events > 0

@@ -1,0 +1,131 @@
+"""Chrome-trace schema, CSV writers, and the .npz round trip."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.trace.export import (
+    chrome_trace,
+    load_capture,
+    save_capture,
+    validate_chrome_trace,
+    write_capture,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_json(capture):
+    return chrome_trace(capture)
+
+
+def test_chrome_trace_is_json_serializable(trace_json):
+    text = json.dumps(trace_json)
+    assert json.loads(text)["traceEvents"]
+
+
+def test_chrome_trace_validates_clean(trace_json):
+    assert validate_chrome_trace(trace_json) == []
+
+
+def test_chrome_trace_timestamps_sorted(trace_json):
+    ts = [
+        ev["ts"] for ev in trace_json["traceEvents"] if ev.get("ph") != "M"
+    ]
+    assert ts == sorted(ts)
+
+
+def test_chrome_trace_be_pairs_match(trace_json):
+    """Every B has an E on the same (pid, tid), properly nested."""
+    stacks = {}
+    opens = closes = 0
+    for ev in trace_json["traceEvents"]:
+        key = (ev.get("pid"), ev.get("tid"))
+        if ev.get("ph") == "B":
+            opens += 1
+            stacks.setdefault(key, []).append(ev["name"])
+        elif ev.get("ph") == "E":
+            closes += 1
+            assert stacks.get(key), f"E without B on {key}"
+            assert stacks[key].pop() == ev["name"]
+    assert opens == closes > 0
+    assert all(not stack for stack in stacks.values())
+
+
+def test_chrome_trace_has_counters_and_metadata(trace_json):
+    events = trace_json["traceEvents"]
+    phs = {ev.get("ph") for ev in events}
+    assert {"M", "B", "E", "C"} <= phs
+    names = {ev["name"] for ev in events if ev.get("ph") == "M"}
+    assert "process_name" in names
+    assert "thread_name" in names
+    counters = [ev for ev in events if ev.get("ph") == "C"]
+    assert any(ev["name"].startswith("vmstat.") for ev in counters)
+    for ev in counters:
+        assert isinstance(ev["args"]["value"], (int, float))
+
+
+def test_validator_catches_unsorted_timestamps():
+    trace = {
+        "traceEvents": [
+            {"name": "x", "ph": "i", "ts": 10.0, "pid": 1, "tid": 0},
+            {"name": "y", "ph": "i", "ts": 5.0, "pid": 1, "tid": 0},
+        ]
+    }
+    assert any("unsorted" in p for p in validate_chrome_trace(trace))
+
+
+def test_validator_catches_unbalanced_be():
+    trace = {
+        "traceEvents": [
+            {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 0},
+        ]
+    }
+    assert any("unclosed" in p for p in validate_chrome_trace(trace))
+    trace = {
+        "traceEvents": [
+            {"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 0},
+        ]
+    }
+    assert any("without matching B" in p for p in validate_chrome_trace(trace))
+
+
+def test_validator_rejects_empty():
+    assert validate_chrome_trace({"traceEvents": []})
+    assert validate_chrome_trace({})
+
+
+def test_write_capture_bundle(capture, tmp_path):
+    paths = write_capture(capture, tmp_path, prefix="t")
+    for path in paths.values():
+        assert path.exists() and path.stat().st_size > 0
+    loaded = json.loads(paths["chrome"].read_text())
+    assert validate_chrome_trace(loaded) == []
+    with paths["events_csv"].open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["ts_ns", "event", "a", "b", "c"]
+    assert len(rows) == capture.n_events + 1
+    with paths["vmstat_csv"].open() as fh:
+        vm_rows = list(csv.reader(fh))
+    assert vm_rows[0][0] == "time_ns"
+    assert len(vm_rows) == capture.vmstat.n_samples + 1
+
+
+def test_npz_round_trip(capture, tmp_path):
+    path = tmp_path / "cap.npz"
+    save_capture(capture, path)
+    loaded = load_capture(path)
+    assert np.array_equal(loaded.events, capture.events)
+    assert loaded.total_events == capture.total_events
+    assert loaded.dropped_events == capture.dropped_events
+    assert loaded.config == capture.config
+    assert loaded.meta == capture.meta
+    assert np.array_equal(loaded.vmstat.times_ns, capture.vmstat.times_ns)
+    assert set(loaded.vmstat.columns) == set(capture.vmstat.columns)
+    for name, col in capture.vmstat.columns.items():
+        assert np.array_equal(loaded.vmstat.columns[name], col), name
+    assert loaded.vmstat.interval_ns == capture.vmstat.interval_ns
+    assert loaded.vmstat.truncated == capture.vmstat.truncated

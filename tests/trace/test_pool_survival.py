@@ -1,0 +1,75 @@
+"""Traces survive the REPRO_JOBS process pool round trip.
+
+Captures are plain numpy/dataclass payloads, so a traced trial run in a
+worker process pickles back to the parent intact — every trial of a
+parallel cell carries its own capture whose final vmstat row matches
+that trial's aggregate counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro._units import MS
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.experiment import ExperimentRunner
+from repro.trace.config import TraceConfig
+
+from .conftest import tiny_tpch_factory
+
+
+@pytest.fixture()
+def tiny_tpch(monkeypatch):
+    # Linux forks pool workers, so the monkeypatched factory is
+    # inherited (same mechanism test_parallel_grid relies on).
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES, "tpch", tiny_tpch_factory
+    )
+
+
+def _config(trace):
+    return ExperimentConfig(
+        workload="tpch",
+        system=SystemConfig(policy="clock", swap="zram", capacity_ratio=0.6),
+        n_trials=2,
+        base_seed=2024,
+        trace=trace,
+    )
+
+
+def test_parallel_trials_carry_captures(tiny_tpch):
+    trace = TraceConfig(vmstat_interval_ns=2 * MS)
+    runner = ExperimentRunner(jobs=2)
+    try:
+        result = runner.run(_config(trace))
+    finally:
+        runner.close()
+    assert len(result.trials) == 2
+    for trial in result.trials:
+        capture = trial.trace
+        assert capture is not None
+        assert capture.config == trace
+        assert capture.total_events > 0
+        final = capture.vmstat.final()
+        for name, value in final.items():
+            if name in trial.counters:
+                assert value == trial.counters[name], name
+
+
+def test_parallel_matches_serial_with_tracing(tiny_tpch):
+    trace = TraceConfig(vmstat_interval_ns=2 * MS)
+    serial = ExperimentRunner(jobs=1)
+    parallel = ExperimentRunner(jobs=2)
+    try:
+        r_serial = serial.run(_config(trace))
+        r_parallel = parallel.run(_config(trace))
+    finally:
+        parallel.close()
+    # TrialResult.trace has compare=False, so equality is over the
+    # measurements — which must be identical, traced or not, serial or
+    # pooled.
+    assert r_serial.trials == r_parallel.trials
+    untraced = ExperimentRunner(jobs=1).run(_config(None))
+    assert untraced.trials == r_serial.trials
+    assert all(t.trace is None for t in untraced.trials)

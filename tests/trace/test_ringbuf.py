@@ -1,0 +1,80 @@
+"""Ring-buffer semantics: bounded storage, overwrite-oldest, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.trace.ringbuf import EVENT_DTYPE, TraceRingBuffer
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigError):
+        TraceRingBuffer(0)
+    with pytest.raises(ConfigError):
+        TraceRingBuffer(-5)
+
+
+def test_under_capacity_keeps_everything_in_order():
+    ring = TraceRingBuffer(8)
+    for i in range(5):
+        ring.append(ts=i * 10, ev=1, a=i, b=i * 2, c=i * 3)
+    assert ring.n_stored == 5
+    assert ring.total == 5
+    assert ring.dropped == 0
+    recs = ring.records()
+    assert recs.dtype == EVENT_DTYPE
+    assert list(recs["ts"]) == [0, 10, 20, 30, 40]
+    assert list(recs["a"]) == [0, 1, 2, 3, 4]
+    assert list(recs["b"]) == [0, 2, 4, 6, 8]
+    assert list(recs["c"]) == [0, 3, 6, 9, 12]
+
+
+def test_overflow_drops_oldest_and_counts():
+    ring = TraceRingBuffer(4)
+    for i in range(10):
+        ring.append(ts=i, ev=2, a=i)
+    assert ring.total == 10
+    assert ring.n_stored == 4
+    assert ring.dropped == 6
+    recs = ring.records()
+    # Newest window, oldest → newest.
+    assert list(recs["a"]) == [6, 7, 8, 9]
+    assert list(recs["ts"]) == [6, 7, 8, 9]
+
+
+def test_exact_capacity_boundary():
+    ring = TraceRingBuffer(3)
+    for i in range(3):
+        ring.append(ts=i, ev=1, a=i)
+    assert ring.dropped == 0
+    assert list(ring.records()["a"]) == [0, 1, 2]
+    ring.append(ts=3, ev=1, a=3)
+    assert ring.dropped == 1
+    assert list(ring.records()["a"]) == [1, 2, 3]
+
+
+def test_records_is_a_copy():
+    ring = TraceRingBuffer(4)
+    ring.append(ts=1, ev=1, a=7)
+    recs = ring.records()
+    ring.append(ts=2, ev=1, a=8)
+    assert list(recs["a"]) == [7]  # unaffected by later appends
+
+
+def test_payload_defaults_to_zero():
+    ring = TraceRingBuffer(2)
+    ring.append(ts=5, ev=3)
+    rec = ring.records()[0]
+    assert (int(rec["a"]), int(rec["b"]), int(rec["c"])) == (0, 0, 0)
+    assert int(rec["ev"]) == 3
+
+
+def test_large_wraparound_matches_reference():
+    ring = TraceRingBuffer(64)
+    for i in range(1000):
+        ring.append(ts=i, ev=1, a=i)
+    expect = np.arange(1000 - 64, 1000)
+    assert np.array_equal(ring.records()["a"], expect)
+    assert ring.dropped == 1000 - 64

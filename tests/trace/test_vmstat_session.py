@@ -1,0 +1,103 @@
+"""vmstat sampling and session capture on a real (tiny) trial.
+
+Pins the two acceptance properties: counter columns are monotonically
+nondecreasing and the final snapshot equals the trial's aggregate
+counters; plus the bit-identity contract — tracing changes nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.config import TraceConfig
+from repro.trace.tracepoints import EVENT_IDS
+from repro.trace.vmstat import COUNTERS, GAUGES
+
+
+def test_traced_trial_bit_identical_to_untraced(traced_trial):
+    off, on = traced_trial
+    assert off == on  # TrialResult.trace carries compare=False
+    assert off.runtime_ns == on.runtime_ns
+    assert off.major_faults == on.major_faults
+    assert off.counters == on.counters
+
+
+def test_vmstat_counters_monotone(capture):
+    series = capture.vmstat
+    assert series.n_samples > 100  # 1 ms interval over ~0.5 s sim time
+    for name in COUNTERS:
+        col = series.column(name)
+        assert np.all(np.diff(col) >= 0), f"{name} not monotone"
+    # Timestamps strictly increase except the final teardown row, which
+    # may share the last periodic row's instant.
+    dt = np.diff(series.times_ns)
+    assert np.all(dt[:-1] > 0)
+    assert dt[-1] >= 0
+
+
+def test_vmstat_gauges_present_and_bounded(capture):
+    series = capture.vmstat
+    for name in GAUGES:
+        assert series.column(name).shape[0] == series.n_samples
+    free = series.column("free_frames")
+    assert free.min() >= 0
+
+
+def test_final_row_equals_trial_aggregates(traced_trial):
+    _, on = traced_trial
+    final = on.trace.vmstat.final()
+    for name, value in final.items():
+        if name in on.counters:
+            assert value == on.counters[name], name
+    assert final["major_faults"] == on.major_faults
+    assert final["minor_faults"] == on.minor_faults
+    assert final["swap_reads"] == on.counters["swap_reads"]
+    assert final["swap_writes"] == on.counters["swap_writes"]
+
+
+def test_deltas_recover_cumulative_counter(capture):
+    series = capture.vmstat
+    col = series.column("evictions")
+    deltas = series.deltas("evictions")
+    assert deltas.shape == col.shape
+    assert int(deltas.sum()) == int(col[-1]) - int(col[0]) + int(deltas[0])
+    np.testing.assert_array_equal(np.cumsum(deltas) - deltas[0] + col[0], col)
+
+
+def test_capture_event_accounting(capture):
+    assert capture.total_events == capture.n_events + capture.dropped_events
+    assert capture.n_events > 0
+    assert capture.n_events <= capture.config.ringbuf_capacity
+
+
+def test_event_timestamps_within_trial(traced_trial):
+    _, on = traced_trial
+    ts = on.trace.events["ts"]
+    assert ts.min() >= 0
+    assert ts.max() <= on.runtime_ns
+    assert np.all(np.diff(ts.astype(np.int64)) >= 0)  # emission order
+
+
+def test_events_named_filters_by_id(capture):
+    evicts = capture.events_named("mm_vmscan_evict")
+    assert evicts.shape[0] > 0
+    assert np.all(evicts["ev"] == EVENT_IDS["mm_vmscan_evict"])
+    # The traced cell faults heavily: major faults must be present.
+    majors = capture.events_named("mm_fault_major")
+    assert majors.shape[0] > 0
+    assert np.all(majors["b"] >= 0)  # latency payload
+
+
+def test_meta_carries_trial_identity(capture):
+    meta = capture.meta
+    assert meta["workload"] == "tpch"
+    assert meta["policy"] == "mglru"
+    assert meta["swap"] == "ssd"
+    assert meta["runtime_ns"] > 0
+    assert meta["costs"]["pte_scan_ns"] >= 0
+
+
+def test_event_subset_config():
+    cfg = TraceConfig(events=("mm_vmscan_evict", "swap_io_done"))
+    assert cfg.event_names() == ("mm_vmscan_evict", "swap_io_done")
+    assert len(TraceConfig().event_names()) == len(EVENT_IDS)
