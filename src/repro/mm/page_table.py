@@ -98,9 +98,22 @@ class PTEFlatState:
         if np.any(offs >= self.run_lens[pos]):
             return None
         idx = self.run_base[pos] + offs
-        if len(self._memo) > 256:
-            self._memo.clear()
-        self._memo[key] = (weakref.ref(vpns), idx)
+        memo = self._memo
+        if len(memo) > 256:
+            # Evict one entry, not the whole memo: clearing everything
+            # here forced every live trace array to be re-translated on
+            # its next batch once >256 arrays were in play.  Prefer a
+            # dead entry (its array was garbage-collected); otherwise
+            # drop the oldest insertion (dict order).
+            victim = None
+            for k, (ref, _idx) in memo.items():
+                if ref() is None:
+                    victim = k
+                    break
+            if victim is None:
+                victim = next(iter(memo))
+            del memo[victim]
+        memo[key] = (weakref.ref(vpns), idx)
         return idx
 
 

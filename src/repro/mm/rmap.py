@@ -91,3 +91,31 @@ class ReverseMap:
             pos = 0
         self._jitter_pos = pos + 1
         return int(self.walk_base_ns + pool[pos])
+
+    def walk_costs_ns(self, n: int) -> np.ndarray:
+        """Costs of the next *n* reverse-map walks, as an int64 array.
+
+        Consumes the jitter pool in slices (refilling at exactly the
+        same points a scalar loop would), so ``walk_costs_ns(n)`` equals
+        ``[walk_cost_ns() for _ in range(n)]`` element for element —
+        the eviction-triage fast lane rests on this.
+        """
+        self.walk_count += n
+        out = np.empty(n, dtype=np.float64)
+        filled = 0
+        while filled < n:
+            pos = self._jitter_pos
+            pool = self._jitter_pool
+            if pool is None or pos >= pool.shape[0]:
+                pool = self._jitter_pool = self._rng.exponential(
+                    self.walk_jitter_ns, size=self.JITTER_POOL
+                )
+                pos = 0
+            take = min(n - filled, pool.shape[0] - pos)
+            out[filled : filled + take] = pool[pos : pos + take]
+            self._jitter_pos = pos + take
+            filled += take
+        # ``int()`` truncates toward zero exactly like ``astype`` here
+        # (all values are positive), so per-draw costs match the scalar
+        # path to the bit.
+        return (self.walk_base_ns + out).astype(np.int64)

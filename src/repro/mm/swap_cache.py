@@ -17,7 +17,6 @@ latency (that is the swap device's job).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.errors import SimulationError, SwapFullError
@@ -25,18 +24,40 @@ from repro.mm.page import Page
 from repro.trace import tracepoints as _tp
 
 
-@dataclass(frozen=True)
 class ShadowEntry:
     """Policy snapshot stored at eviction time.
 
     ``policy_clock`` is policy-defined: MG-LRU stores ``min_seq``; Clock
     stores its eviction counter.  ``tier`` is the MG-LRU usage tier.
     ``evict_time_ns`` supports inter-refault latency analyses.
+
+    A plain ``__slots__`` class: one is built per eviction, and the
+    frozen-dataclass ``object.__setattr__`` init showed up in profiles.
     """
 
-    policy_clock: int
-    tier: int
-    evict_time_ns: int
+    __slots__ = ("policy_clock", "tier", "evict_time_ns")
+
+    def __init__(
+        self, policy_clock: int, tier: int, evict_time_ns: int
+    ) -> None:
+        self.policy_clock = policy_clock
+        self.tier = tier
+        self.evict_time_ns = evict_time_ns
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowEntry(policy_clock={self.policy_clock}, "
+            f"tier={self.tier}, evict_time_ns={self.evict_time_ns})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShadowEntry):
+            return NotImplemented
+        return (
+            self.policy_clock == other.policy_clock
+            and self.tier == other.tier
+            and self.evict_time_ns == other.evict_time_ns
+        )
 
 
 class SwapSpace:

@@ -46,6 +46,10 @@ from repro.swapdev.base import SwapDevice
 from repro.trace import tracepoints as _tp
 
 #: Pages per reclaim batch (kernel SWAP_CLUSTER_MAX).
+#: Sentinel distinguishing "no fault in flight" from an in-flight fault
+#: whose completion event has not been demanded yet (dict value None).
+_NOT_FAULTING = object()
+
 RECLAIM_BATCH = 32
 #: Direct-reclaim retries before declaring OOM.
 MAX_DIRECT_RECLAIM_RETRIES = 64
@@ -66,6 +70,7 @@ class MemorySystem:
         swap_slots: Optional[int] = None,
         compute_quantum_ns: int = 64 * US,
         fast_access: Optional[bool] = None,
+        fast_reclaim: Optional[bool] = None,
     ) -> None:
         if capacity_frames < 16:
             raise ConfigError("need at least 16 frames of capacity")
@@ -94,9 +99,33 @@ class MemorySystem:
         if fast_access is None:
             fast_access = os.environ.get("REPRO_FAST_ACCESS", "1") != "0"
         self.fast_access = bool(fast_access)
+        #: Vectorized reclaim triage / swap-batch kernels (the reclaim
+        #: fast lane).  Same contract as ``fast_access``: both settings
+        #: compute identical values in identical RNG order, so the
+        #: simulation is bit-identical either way; ``REPRO_FAST_RECLAIM=0``
+        #: forces the scalar reference kernels for A/B verification.
+        if fast_reclaim is None:
+            fast_reclaim = os.environ.get("REPRO_FAST_RECLAIM", "1") != "0"
+        self.fast_reclaim = bool(fast_reclaim)
 
         self._kswapd_waker = Waker("kswapd")
         self._inflight_faults: Dict[Page, OneShotEvent] = {}
+        #: Pages currently inside a batched swap-out (detached from the
+        #: policy lists, frames not yet freed).  A reclaimer that finds
+        #: nothing to scan waits for the next batch completion instead of
+        #: spinning its retry budget: with triage blocks, concurrent
+        #: reclaimers can transiently detach every resident page.
+        self._evictions_in_flight = 0
+        self._eviction_batch_done = OneShotEvent("eviction-batch-done")
+        #: Direct reclaim is serialized: one faulting thread walks the
+        #: policy lists per round while later arrivals wait for the
+        #: round to complete and then retry their allocation (the
+        #: kernel's reclaim throttling).  Concurrent walkers add no
+        #: reclaim throughput — they interleave over the same lists,
+        #: each finding a sliver of the candidates — but each spins up
+        #: the full triage machinery per fault.
+        self._direct_reclaim_active = False
+        self._direct_reclaim_done = OneShotEvent("direct-reclaim-done")
         self._started = False
 
         policy.bind(self)
@@ -174,6 +203,7 @@ class MemorySystem:
         lookup = self.address_space.page_table.lookup
         quantum = self.compute_quantum_ns
         stats = self.stats
+        overhead = self.costs.fault_overhead_ns
         pending = 0
         hits = 0
         if isinstance(vpns, np.ndarray):
@@ -192,10 +222,12 @@ class MemorySystem:
                     yield Compute(pending)
                     pending = 0
                 continue
-            if pending:
-                yield Compute(pending)
-                pending = 0
-            yield from self.handle_fault(page, write)
+            # One Compute covers the flushed pending work plus the trap
+            # overhead of the fault that interrupted it — the separate
+            # overhead event inside handle_fault gained nothing.
+            yield Compute(pending + overhead)
+            pending = 0
+            yield from self.handle_fault(page, write, charge_overhead=False)
         stats.hits += hits
         if pending:
             yield Compute(pending)
@@ -219,12 +251,14 @@ class MemorySystem:
         - a full chunk of hits accrues ``chunk*c >= quantum`` pending and
           flushes at its last access → one ``Compute(chunk*c)``;
         - a miss after ``k`` leading hits flushes ``k*c`` plus the missing
-          access's own ``c`` → one ``Compute((k+1)*c)``, then the fault;
+          access's own ``c`` plus the fault's trap overhead → one
+          ``Compute((k+1)*c + overhead)``, then the fault;
         - a trace ending mid-chunk leaves ``k*c < quantum`` pending for
           the trailing flush.
         """
         stats = self.stats
         quantum = self.compute_quantum_ns
+        overhead = self.costs.fault_overhead_ns
         on_batch = self.policy.on_batch_access
         handle_fault = self.handle_fault
         present = flat.present
@@ -258,9 +292,8 @@ class MemorySystem:
                 on_batch(flat, seg[:k], write)
                 hits += k
                 pos += k
-            if c:
-                yield Compute(k * c + c)
-            yield from handle_fault(pages[idx[pos]], write)
+            yield Compute(k * c + c + overhead)
+            yield from handle_fault(pages[idx[pos]], write, charge_overhead=False)
             pos += 1
         stats.hits += hits
         if tail_pending:
@@ -281,8 +314,15 @@ class MemorySystem:
     # Fault handling
     # ------------------------------------------------------------------
 
-    def handle_fault(self, page: Page, write: bool) -> Iterator[Any]:
-        """Generator: make *page* resident, blocking as needed."""
+    def handle_fault(
+        self, page: Page, write: bool, charge_overhead: bool = True
+    ) -> Iterator[Any]:
+        """Generator: make *page* resident, blocking as needed.
+
+        ``charge_overhead=False`` means the caller already charged the
+        trap overhead (the access loops fold it into the Compute that
+        flushes pending work at the miss, saving one event per fault).
+        """
         if page.present:
             # The caller observed a miss, but another thread completed
             # the fault before we got here (the kernel's re-check of the
@@ -291,10 +331,16 @@ class MemorySystem:
             if write:
                 page.dirty = True
             return
-        inflight = self._inflight_faults.get(page)
-        if inflight is not None:
+        inflight = self._inflight_faults.get(page, _NOT_FAULTING)
+        if inflight is not _NOT_FAULTING:
             # Another thread is already servicing this fault; wait for it
-            # and retry (it may have been evicted again meanwhile).
+            # and retry (it may have been evicted again meanwhile).  The
+            # completion event is created lazily by the first waiter —
+            # the overwhelmingly common uncontended fault never builds
+            # one.
+            if inflight is None:
+                inflight = OneShotEvent("fault")
+                self._inflight_faults[page] = inflight
             yield WaitEvent(inflight)
             if not page.present:
                 yield from self.handle_fault(page, write)
@@ -304,11 +350,12 @@ class MemorySystem:
                 page.dirty = True
             return
 
-        done = OneShotEvent(f"fault-vpn{page.vpn}")
-        self._inflight_faults[page] = done
-        t0 = self.engine.now
+        self._inflight_faults[page] = None
+        engine = self.engine
+        t0 = engine._now
         try:
-            yield Compute(self.costs.fault_overhead_ns)
+            if charge_overhead:
+                yield Compute(self.costs.fault_overhead_ns)
             frame = yield from self._alloc_frame()
             major = page.swap_slot is not None
             if major:
@@ -321,7 +368,7 @@ class MemorySystem:
                     if _tp.mm_vmscan_refault is not None:
                         _tp.mm_vmscan_refault(
                             page.vpn,
-                            self.engine.now - shadow.evict_time_ns,
+                            engine._now - shadow.evict_time_ns,
                             page.refault_count,
                         )
             else:
@@ -338,28 +385,51 @@ class MemorySystem:
             if major:
                 if _tp.mm_fault_major is not None:
                     _tp.mm_fault_major(
-                        page.vpn, self.engine.now - t0, int(write)
+                        page.vpn, engine._now - t0, int(write)
                     )
             elif _tp.mm_fault_minor is not None:
-                _tp.mm_fault_minor(page.vpn, self.engine.now - t0, int(write))
+                _tp.mm_fault_minor(page.vpn, engine._now - t0, int(write))
         finally:
-            del self._inflight_faults[page]
-            done.fire()
+            done = self._inflight_faults.pop(page)
+            if done is not None:
+                done.fire()
         if self.frames.below_low():
             self._kswapd_waker.wake()
 
     def _alloc_frame(self) -> Iterator[Any]:
         """Generator: obtain a free frame, entering direct reclaim when
-        the allocator is at or below its min watermark."""
+        the allocator is at or below its min watermark.
+
+        Direct reclaim is serialized: the first thread to hit the
+        watermark walks the policy lists; threads that arrive while a
+        round is in progress block on its completion and retry the
+        allocation against the frames it freed.  One walker frees a
+        whole triage block per round — enough for every waiter — so
+        piling more walkers onto the same lists only multiplies scan
+        machinery, not reclaim throughput."""
         retries = 0
         while True:
             if not self.frames.below_min():
                 frame = self.frames.alloc()
                 if frame is not None:
                     return frame
+            if self._direct_reclaim_active:
+                yield WaitEvent(self._direct_reclaim_done)
+                continue
             # Direct reclaim: the faulting thread pays for reclaim itself.
             start = self.engine.now
-            reclaimed = yield from self.policy.reclaim(RECLAIM_BATCH, direct=True)
+            self._direct_reclaim_active = True
+            try:
+                reclaimed = yield from self.policy.reclaim(
+                    RECLAIM_BATCH, direct=True
+                )
+            finally:
+                self._direct_reclaim_active = False
+                done = self._direct_reclaim_done
+                self._direct_reclaim_done = OneShotEvent(
+                    "direct-reclaim-done"
+                )
+                done.fire()
             self.stats.direct_reclaims += reclaimed
             self.stats.direct_reclaim_stall_ns += self.engine.now - start
             if _tp.mm_vmscan_direct_stall is not None:
@@ -374,8 +444,15 @@ class MemorySystem:
                         f"direct reclaim made no progress after "
                         f"{retries} retries ({self.frames.n_free} free)"
                     )
-                # Give kswapd / in-flight writeback a chance.
-                yield Sleep(100 * US)
+                if self._evictions_in_flight:
+                    # Other reclaimers have whole triage blocks in
+                    # writeback; their frames free at batch completion.
+                    # Wait for that instead of a blind backoff (the
+                    # kernel's writeback throttling).
+                    yield from self.wait_eviction_batch()
+                else:
+                    # Give kswapd / in-flight writeback a chance.
+                    yield Sleep(100 * US)
             else:
                 retries = 0
             frame = self.frames.alloc()
@@ -392,55 +469,159 @@ class MemorySystem:
         aborted; the caller should reinsert it).
 
         The caller must have already detached the page from its policy
-        lists; on abort the page is still resident and unlisted.
+        lists; on abort the page is still resident and unlisted.  This is
+        the single-page form of :meth:`evict_pages` — policies' triage
+        blocks use the batched path directly.
         """
-        assert page.present, "evicting a non-resident page"
+        evicted, _aborted = yield from self.evict_pages([page])
+        return evicted == 1
+
+    def evict_pages(
+        self, pages: Sequence[Page], recheck_accessed: bool = False
+    ) -> Iterator[Any]:
+        """Generator: push a triage block of pages out to swap.
+
+        Returns ``(n_evicted, aborted)`` where ``aborted`` lists the
+        pages that were re-accessed during writeback (still resident and
+        unlisted; the caller should reinsert them).
+
+        Batch semantics (the reclaim fast lane): the per-victim
+        bookkeeping cost is charged as one ``Compute`` for the whole
+        block, clean pages with a valid swap copy are dropped first
+        (no I/O), then every dirty/slotless page goes to the device in a
+        single batched submission — one completion event, per-page
+        service latencies identical to N serial submissions.  The PTE
+        bits of every write page are cleared *before* the batch I/O
+        starts, so the kernel-style re-check below still catches racing
+        accesses to any page of the batch.
+
+        ``recheck_accessed``: scanning policies triage a whole block
+        against one accessed-bit snapshot, so a page can be re-touched
+        between the snapshot and this call (the block's walk ``Compute``
+        and any nearby scans yield in between).  With the flag set, such
+        pages are handed back in ``aborted`` instead of evicted — the
+        second chance a per-page scan would have given them.  FIFO-style
+        policies evict regardless of the accessed bit and leave it off.
+        """
         tp_evict = _tp.mm_vmscan_evict
         t0 = self.engine.now if tp_evict is not None else 0
-        yield Compute(self.costs.reclaim_page_ns)
-        needs_write = page.dirty or page.swap_slot is None
-        if needs_write:
-            if page.dirty and page.swap_slot is not None:
-                # Resident page was re-dirtied: the old copy is stale.
-                self.swap.release(page)
-                self.swap_device.discard(page)
-            was_dirty = page.dirty
-            # Clear both PTE bits before writeback starts (as the kernel
-            # does) so a racing access during the device write is caught
-            # by the re-check below.
-            page.accessed = False
-            page.dirty = False
-            yield from self.swap_device.write(page)
-            if page.accessed or page.dirty:
-                # Touched during writeback: abort the eviction and drop
-                # the now-possibly-stale device copy so state stays
-                # canonical.
-                if page.swap_slot is None:
-                    self.swap_device.discard(page)
-                page.accessed = True
-                page.dirty = page.dirty or was_dirty
+        yield Compute(self.costs.reclaim_page_ns * len(pages))
+        evicted = 0
+        aborted = []
+        writes: list[tuple[Page, bool]] = []
+        # Snapshot the block's PTE bits in one pass when the fast lane
+        # is on: processing one page never touches another page's bits,
+        # so the bulk reads see exactly the values the serial property
+        # reads would.  Bit *clears* for write pages are batched below.
+        flat = None
+        if self.fast_reclaim and len(pages) > 1:
+            flat = self.address_space.page_table.flat_view()
+            pidx = np.fromiter(
+                (p._flat_idx for p in pages), np.intp, count=len(pages)
+            )
+            assert flat.present[pidx].all(), "evicting a non-resident page"
+            flags = zip(
+                flat.accessed[pidx].tolist(), flat.dirty[pidx].tolist()
+            )
+        else:
+            flags = ((p.accessed, p.dirty) for p in pages)
+        write_idx: list[int] = []
+        for pos, (page, (young, was_dirty)) in enumerate(zip(pages, flags)):
+            if flat is None:
+                assert page.present, "evicting a non-resident page"
+            if recheck_accessed and young:
                 self.stats.extra["aborted_evictions"] = (
                     self.stats.extra.get("aborted_evictions", 0) + 1
                 )
-                return False
-            if was_dirty:
-                self.stats.dirty_evictions += 1
-            if page.swap_slot is None:
-                self.swap.store(page, self.policy.make_shadow(page))
+                aborted.append(page)
+                continue
+            if was_dirty or page.swap_slot is None:
+                if was_dirty and page.swap_slot is not None:
+                    # Resident page was re-dirtied: the old copy is stale.
+                    self.swap.release(page)
+                    self.swap_device.discard(page)
+                writes.append((page, was_dirty))
+                # Clear both PTE bits before writeback starts (as the
+                # kernel does) so a racing access during the device
+                # write is caught by the re-check below.
+                if flat is None:
+                    page.accessed = False
+                    page.dirty = False
+                else:
+                    write_idx.append(pos)
             else:
+                # Clean page with a valid swap copy: free drop, no I/O.
                 self.swap.set_shadow(page, self.policy.make_shadow(page))
-        else:
-            # Clean page with a valid swap copy: free drop, no I/O.
-            self.swap.set_shadow(page, self.policy.make_shadow(page))
+                self._finish_eviction(page)
+                evicted += 1
+                if tp_evict is not None:
+                    tp_evict(page.vpn, self.engine.now - t0, 0)
+        if flat is not None and write_idx:
+            # Batched form of the per-page clears above — same instant
+            # (no yields since the snapshot), same resulting bits.
+            sel = pidx[write_idx]
+            flat.accessed[sel] = False
+            flat.dirty[sel] = False
+        if writes:
+            self._evictions_in_flight += len(writes)
+            try:
+                yield from self.swap_device.write_batch(
+                    [p for p, _ in writes], fast=self.fast_reclaim
+                )
+            finally:
+                self._evictions_in_flight -= len(writes)
+                done = self._eviction_batch_done
+                self._eviction_batch_done = OneShotEvent(
+                    "eviction-batch-done"
+                )
+                done.fire()
+            for page, was_dirty in writes:
+                if page.accessed or page.dirty:
+                    # Touched during writeback: abort the eviction and
+                    # drop the now-possibly-stale device copy so state
+                    # stays canonical.
+                    if page.swap_slot is None:
+                        self.swap_device.discard(page)
+                    page.accessed = True
+                    page.dirty = page.dirty or was_dirty
+                    self.stats.extra["aborted_evictions"] = (
+                        self.stats.extra.get("aborted_evictions", 0) + 1
+                    )
+                    aborted.append(page)
+                    continue
+                if was_dirty:
+                    self.stats.dirty_evictions += 1
+                if page.swap_slot is None:
+                    self.swap.store(page, self.policy.make_shadow(page))
+                else:
+                    self.swap.set_shadow(page, self.policy.make_shadow(page))
+                self._finish_eviction(page)
+                evicted += 1
+                if tp_evict is not None:
+                    tp_evict(page.vpn, self.engine.now - t0, 1)
+        return evicted, aborted
+
+    def wait_eviction_batch(self) -> Iterator[Any]:
+        """Generator: block until the next in-flight eviction batch
+        completes; a no-op when none is in flight.
+
+        Reclaim contexts call this when they find nothing to scan while
+        other reclaimers have triage blocks in writeback — the frames
+        (or aborted pages) those blocks hold come back at completion, so
+        waiting beats both spinning and forcing an aging walk against a
+        transiently empty list.
+        """
+        if self._evictions_in_flight:
+            yield WaitEvent(self._eviction_batch_done)
+
+    def _finish_eviction(self, page: Page) -> None:
+        """Unmap a victim and return its frame to the allocator."""
         page.present = False
         frame = page.frame
         page.frame = None
         self.rmap.remove(frame)
         self.frames.free(frame)
         self.stats.evictions += 1
-        if tp_evict is not None:
-            tp_evict(page.vpn, self.engine.now - t0, int(needs_write))
-        return True
 
     # ------------------------------------------------------------------
     # Background reclaim

@@ -3,9 +3,11 @@
 The two policies the paper characterizes — :class:`~repro.policies.
 clock_lru.ClockLRUPolicy` and :class:`~repro.policies.mglru.MGLRUPolicy`
 (with its *Gen-14*, *Scan-All*, *Scan-None* and *Scan-Rand* parameter
-presets) — plus three extension baselines the paper's discussion points
-at: FIFO (§V-B's key-value-cache literature), random eviction, and
-Belady's OPT as an offline lower bound.
+presets) — plus extension baselines the paper's discussion points
+at: FIFO (§V-B's key-value-cache literature), random eviction, Belady's
+OPT as an offline lower bound, and an online OPT surrogate
+(:class:`~repro.policies.opt.OPTPolicy`) that evicts the farthest
+*predicted* next use.
 
 Use :func:`make_policy` to construct a policy by its registry name.
 """
@@ -17,6 +19,7 @@ from repro.policies.base import ReplacementPolicy
 from repro.policies.clock_lru import ClockLRUPolicy
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.mglru import MGLRUParams, MGLRUPolicy
+from repro.policies.opt import OPTPolicy
 from repro.policies.random_policy import RandomPolicy
 
 #: Registry of policy factories keyed by the names the paper uses.
@@ -29,6 +32,7 @@ POLICY_FACTORIES: Dict[str, Callable[[], ReplacementPolicy]] = {
     "mglru-scan-rand": lambda: MGLRUPolicy(MGLRUParams.scan_rand()),
     "fifo": FIFOPolicy,
     "random": RandomPolicy,
+    "opt": OPTPolicy,
 }
 
 #: The six policies every paper figure sweeps (order used in plots).
@@ -68,6 +72,7 @@ __all__ = [
     "MGLRUParams",
     "FIFOPolicy",
     "RandomPolicy",
+    "OPTPolicy",
     "POLICY_FACTORIES",
     "PAPER_POLICIES",
     "MGLRU_VARIANTS",

@@ -21,7 +21,9 @@ number of direct reclaimers): detach a candidate from shared lists
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterator, Optional, TYPE_CHECKING
+from typing import Any, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from repro.mm.swap_cache import ShadowEntry
 
@@ -96,6 +98,45 @@ class ReplacementPolicy(abc.ABC):
         ``direct`` distinguishes allocation-stall reclaim from kswapd;
         policies may use it for stats or budgets.
         """
+
+    # ------------------------------------------------------------------
+    # Eviction-triage helpers (the reclaim fast lane)
+    # ------------------------------------------------------------------
+    #
+    # Scanning policies pop candidates in *triage blocks*: one bulk rmap
+    # charge (a single ``Compute`` per block — the same coalescing the
+    # MG-LRU aging walker applies to its scan costs) followed by one
+    # snapshot of every candidate's accessed bit at the same instant.
+    # Both helpers have a vectorized and a scalar kernel selected by
+    # ``system.fast_reclaim``; they compute identical values in
+    # identical RNG order, so trials are bit-identical either way.
+
+    def _walk_block_ns(self, n: int) -> int:
+        """Total cost of the next *n* reverse-map walks (one per
+        candidate in a triage block), charged as a single Compute."""
+        system = self.system
+        assert system is not None
+        if system.fast_reclaim:
+            return int(system.rmap.walk_costs_ns(n).sum())
+        walk = system.rmap.walk_cost_ns
+        return sum(walk() for _ in range(n))
+
+    def _snapshot_accessed(self, block: Sequence["Page"]) -> List[bool]:
+        """Accessed bits of every page in *block*, read at one instant.
+
+        The fast kernel reads through the flat PTE mirror with fancy
+        indexing; the scalar kernel reads the page properties.  Either
+        way the caller gets plain Python bools.
+        """
+        system = self.system
+        assert system is not None
+        if system.fast_reclaim:
+            flat = system.address_space.page_table.flat_view()
+            idx = np.fromiter(
+                (p._flat_idx for p in block), np.intp, count=len(block)
+            )
+            return flat.accessed[idx].tolist()
+        return [p.accessed for p in block]
 
     # ------------------------------------------------------------------
     # Introspection

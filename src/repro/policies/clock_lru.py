@@ -32,6 +32,9 @@ from repro.trace import tracepoints as _tp
 #: Scan at most this many pages per reclaim invocation before giving up;
 #: prevents livelock when every page has its accessed bit set.
 SCAN_BUDGET_PER_RECLAIM = 256
+#: Inactive-tail pages triaged per eviction block (one rmap charge and
+#: one accessed-bit snapshot per block).
+RECLAIM_BATCH = 32
 #: Active-list pages examined per refill round.
 REFILL_BATCH = 32
 
@@ -94,35 +97,59 @@ class ClockLRUPolicy(ReplacementPolicy):
         system = self.system
         reclaimed = 0
         scanned = 0
+        tp_scan = _tp.mm_vmscan_scan
         while reclaimed < nr_pages and scanned < SCAN_BUDGET_PER_RECLAIM:
             if self._inactive_is_low():
                 yield from self._refill_inactive()
-            page = self.inactive.pop_tail()
-            if page is None:
+            want = min(
+                RECLAIM_BATCH,
+                nr_pages - reclaimed,
+                SCAN_BUDGET_PER_RECLAIM - scanned,
+            )
+            block = self._pop_inactive_block(want)
+            if not block:
                 yield from self._refill_inactive()
-                page = self.inactive.pop_tail()
-                if page is None:
+                block = self._pop_inactive_block(want)
+                if not block:
                     break
-            scanned += 1
-            # Check the accessed bit: one rmap walk per page, every time.
-            yield Compute(system.rmap.walk_cost_ns())
-            if _tp.mm_vmscan_scan is not None:
-                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 0)
-            if page.accessed:
-                # Second chance: promote to the active list.
-                page.accessed = False
-                page.active = True
-                self.active.push_head(page)
-                system.stats.promotions += 1
-                continue
-            ok = yield from system.evict_page(page)
-            if ok:
-                reclaimed += 1
-            else:
-                # Re-accessed during writeback; treat like a second chance.
-                page.active = True
-                self.active.push_head(page)
+            scanned += len(block)
+            # Triage the whole block: one rmap charge and one
+            # accessed-bit snapshot instead of a walk per page.
+            yield Compute(self._walk_block_ns(len(block)))
+            flags = self._snapshot_accessed(block)
+            cold = []
+            for page, young in zip(block, flags):
+                if tp_scan is not None:
+                    tp_scan(page.vpn, int(young), 0)
+                if young:
+                    # Second chance: promote to the active list.
+                    page.accessed = False
+                    page.active = True
+                    self.active.push_head(page)
+                    system.stats.promotions += 1
+                else:
+                    cold.append(page)
+            if cold:
+                n_ok, aborted = yield from system.evict_pages(
+                    cold, recheck_accessed=True
+                )
+                reclaimed += n_ok
+                for page in aborted:
+                    # Re-accessed during writeback; treat like a second
+                    # chance.
+                    page.active = True
+                    self.active.push_head(page)
         return reclaimed
+
+    def _pop_inactive_block(self, want: int) -> list:
+        block = []
+        pop = self.inactive.pop_tail
+        while len(block) < want:
+            page = pop()
+            if page is None:
+                break
+            block.append(page)
+        return block
 
     def _inactive_is_low(self) -> bool:
         total = len(self.active) + len(self.inactive)
@@ -133,16 +160,22 @@ class ClockLRUPolicy(ReplacementPolicy):
         assert self.system is not None
         system = self.system
         system.stats.policy_ticks += 1
-        for _ in range(REFILL_BATCH):
-            if not self._inactive_is_low() and len(self.inactive) > 0:
-                break
-            page = self.active.pop_tail()
+        block = []
+        pop = self.active.pop_tail
+        while len(block) < REFILL_BATCH:
+            page = pop()
             if page is None:
                 break
-            yield Compute(system.rmap.walk_cost_ns())
-            if _tp.mm_vmscan_scan is not None:
-                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 1)
-            if page.accessed:
+            block.append(page)
+        if not block:
+            return
+        yield Compute(self._walk_block_ns(len(block)))
+        flags = self._snapshot_accessed(block)
+        tp_scan = _tp.mm_vmscan_scan
+        for page, young in zip(block, flags):
+            if tp_scan is not None:
+                tp_scan(page.vpn, int(young), 1)
+            if young:
                 page.accessed = False
                 self.active.push_head(page)  # rotate the clock hand
             else:

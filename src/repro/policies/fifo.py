@@ -53,14 +53,19 @@ class FIFOPolicy(ReplacementPolicy):
         reclaimed = 0
         attempts = 0
         while reclaimed < nr_pages and attempts < nr_pages * 4:
-            page = self.queue.pop_tail()
-            if page is None:
+            want = min(nr_pages - reclaimed, nr_pages * 4 - attempts)
+            block = []
+            while len(block) < want:
+                page = self.queue.pop_tail()
+                if page is None:
+                    break
+                block.append(page)
+            if not block:
                 break
-            attempts += 1
-            ok = yield from system.evict_page(page)
-            if ok:
-                reclaimed += 1
-            else:
+            attempts += len(block)
+            n_ok, aborted = yield from system.evict_pages(block)
+            reclaimed += n_ok
+            for page in aborted:
                 # Re-accessed during writeback; FIFO still reinserts at
                 # the head (it has no other signal).
                 self.queue.push_head(page)

@@ -109,9 +109,21 @@ class GenerationLists:
     # ------------------------------------------------------------------
 
     def insert(self, page: Page, seq: int) -> None:
-        """Put an unlisted page at the head of generation *seq*."""
+        """Put an unlisted page at the head of generation *seq*.
+
+        :meth:`list_for` is inlined — insert runs once per fault and
+        once per walk promotion, and the extra call was measurable.
+        """
+        if not self.min_seq <= seq <= self.max_seq:
+            raise SimulationError(
+                f"generation {seq} outside [{self.min_seq}, {self.max_seq}]"
+            )
         page.gen_seq = seq
-        self.list_for(seq).push_head(page)
+        lst = self._lists.get(seq)
+        if lst is None:
+            lst = IntrusiveList(f"gen-{seq}")
+            self._lists[seq] = lst
+        lst.push_head(page)
 
     def remove(self, page: Page) -> None:
         """Detach *page* from its current generation list."""

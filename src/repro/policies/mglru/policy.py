@@ -43,12 +43,15 @@ from repro.policies.mglru.bloom import BloomFilter
 from repro.policies.mglru.config import MGLRUParams, ScanMode
 from repro.policies.mglru.generations import GenerationLists
 from repro.policies.mglru.tiers import TierTracker, tier_of
-from repro.sim.events import Compute, Sleep
+from repro.sim.events import Compute, WaitWaker, Waker
 from repro.trace import tracepoints as _tp
 
 #: Candidates examined per reclaim invocation before giving up
 #: (livelock guard when every candidate is hot).
 SCAN_BUDGET_PER_RECLAIM = 256
+#: Candidates triaged per eviction block (one rmap charge and one
+#: accessed-bit snapshot per block).
+RECLAIM_BATCH = 32
 #: Generations the eviction walker must leave untouched (MIN_NR_GENS).
 MIN_NR_GENS = 2
 
@@ -76,6 +79,12 @@ class MGLRUPolicy(ReplacementPolicy):
         self._first_walk_done = False
         self._aging_requested = False
         self._aging_in_progress = False
+        self._aging_waker = Waker("mglru-aging")
+        #: Anchor of the aging-tick grid (time of the last tick or walk
+        #: completion); ticks conceptually fire at anchor + k*interval.
+        self._tick_anchor = 0
+        #: True while a tick event is scheduled.
+        self._tick_armed = False
         self._evictions_at_last_walk = 0
         self._scan_rng = None
         self.name = {
@@ -97,7 +106,8 @@ class MGLRUPolicy(ReplacementPolicy):
 
     def spawn_daemons(self) -> None:
         assert self.system is not None
-        self.system.spawn_daemon(self._aging_loop(), name="mglru-aging")
+        self.system.spawn_daemon(self._aging_daemon(), name="mglru-aging")
+        self._tick_anchor = self.system.engine.now
 
     # ------------------------------------------------------------------
     # Notifications
@@ -130,7 +140,7 @@ class MGLRUPolicy(ReplacementPolicy):
         return ShadowEntry(
             policy_clock=self.gens.min_seq,
             tier=page.tier,
-            evict_time_ns=self.system.engine.now,
+            evict_time_ns=self.system.engine._now,
         )
 
     # ------------------------------------------------------------------
@@ -138,29 +148,59 @@ class MGLRUPolicy(ReplacementPolicy):
     # ------------------------------------------------------------------
 
     def request_aging(self) -> None:
-        """Ask the aging daemon to walk on its next tick."""
+        """Ask the aging daemon to walk at the next interval boundary.
+
+        Aging is demand-driven, as in the kernel: a walk runs when
+        eviction has exhausted the evictable generations (reclaim sets
+        the request flag or runs the walk inline itself).  Pacing walks
+        faster than generation drain — e.g. periodically — clears
+        accessed bits more often than hot pages are re-touched and
+        collapses the recency signal generations exist to preserve; we
+        verified empirically that an eagerly paced walker makes MG-LRU
+        evict a small hot set *more* readily than the stream around it
+        (correlated mass evictions).
+
+        The interval grid therefore still throttles walk starts, but
+        the tick event is armed lazily — only when a request is
+        pending.  An idle trial schedules no tick events at all, where
+        a periodic poll costs one heap event per interval (tens of
+        thousands per trial).  The serviced instants are the grid
+        instants the periodic tick would have fired at: the first
+        boundary strictly after the request, with the grid re-anchored
+        one interval after each walk completes (exactly where the old
+        poll re-armed).
+        """
         self._aging_requested = True
+        if self._tick_armed or self._aging_in_progress:
+            # A tick will see the flag, or the walk's completion hook
+            # re-arms for requests that arrived while it ran.
+            return
+        self._arm_tick()
 
-    def _aging_needed(self) -> bool:
-        """Aging is demand-driven, as in the kernel: a walk runs when
-        eviction has exhausted the evictable generations (it sets
-        ``_aging_requested`` or runs the walk inline itself).
-
-        Pacing walks faster than generation drain — e.g. periodically —
-        clears accessed bits more often than hot pages are re-touched
-        and collapses the recency signal generations exist to preserve;
-        we verified empirically that an eagerly paced walker makes
-        MG-LRU evict a small hot set *more* readily than the stream
-        around it (correlated mass evictions)."""
-        return self._aging_requested
-
-    def _aging_loop(self) -> Iterator[Any]:
+    def _arm_tick(self) -> None:
+        """Schedule the tick at the first grid instant strictly after
+        now (a request landing exactly on a boundary is serviced at the
+        next one, as the polled tick's earlier queue seq implied)."""
         assert self.system is not None
+        engine = self.system.engine
+        interval = self.params.aging_interval_ns
+        elapsed = engine.now - self._tick_anchor
+        delay = interval - elapsed % interval
+        self._tick_armed = True
+        engine.schedule1(delay, self._aging_tick, None)
+
+    def _aging_tick(self, _arg: Any) -> None:
+        """Engine callback at an aging-interval boundary."""
+        self._tick_armed = False
+        self._tick_anchor = self.system.engine.now
+        if self._aging_requested:
+            self._aging_requested = False
+            self._aging_waker.wake()
+
+    def _aging_daemon(self) -> Iterator[Any]:
         while True:
-            yield Sleep(self.params.aging_interval_ns)
-            if self._aging_needed():
-                self._aging_requested = False
-                yield from self.run_aging_walk()
+            yield WaitWaker(self._aging_waker)
+            yield from self.run_aging_walk()
 
     def _should_scan_region(self, region_index: int) -> bool:
         mode = self.params.scan_mode
@@ -191,6 +231,12 @@ class MGLRUPolicy(ReplacementPolicy):
             yield from self._aging_walk_body()
         finally:
             self._aging_in_progress = False
+            # Completion re-anchors the tick grid: the next boundary is
+            # one interval from now (where the old poll re-armed).  A
+            # request that arrived while the walk ran gets its tick now.
+            self._tick_anchor = self.system.engine.now
+            if self._aging_requested and not self._tick_armed:
+                self._arm_tick()
 
     def _aging_walk_body(self) -> Iterator[Any]:
         system = self.system
@@ -199,6 +245,18 @@ class MGLRUPolicy(ReplacementPolicy):
         t0 = system.engine.now if _tp.mglru_age is not None else 0
         stats.aging_walks += 1
         self._evictions_at_last_walk = stats.evictions
+        # Create the new youngest generation *before* scanning (the
+        # kernel's walk targets ``max_seq + 1``): pages this walk
+        # promotes land in the generation it creates, so back-to-back
+        # walks over an idle interval can never make just-promoted
+        # pages (whose accessed bits the promotion cleared) immediately
+        # evictable — the correlated-mass-eviction hazard.  At the
+        # generation cap the walk still runs, but promotions pile into
+        # the current youngest and recency resolution degrades (§V-B).
+        if self.gens.inc_max_seq():
+            stats.policy_ticks += 1
+        else:
+            stats.gen_cap_hits += 1
         walk_uses_bloom = self.params.scan_mode is ScanMode.BLOOM
         flat_view = system.address_space.page_table.flat_view
         scanned = 0
@@ -244,10 +302,6 @@ class MGLRUPolicy(ReplacementPolicy):
         if walk_uses_bloom:
             self._bloom_cur, self._bloom_next = self._bloom_next, self._bloom_cur
             self._bloom_next.clear()
-        if self.gens.inc_max_seq():
-            stats.policy_ticks += 1
-        else:
-            stats.gen_cap_hits += 1
         stats.extra["aging_regions_scanned"] = (
             stats.extra.get("aging_regions_scanned", 0) + scanned
         )
@@ -284,9 +338,29 @@ class MGLRUPolicy(ReplacementPolicy):
         reclaimed = 0
         scanned = 0
         inline_walks = 0
+        tp_scan = _tp.mm_vmscan_scan
         while reclaimed < nr_pages and scanned < SCAN_BUDGET_PER_RECLAIM:
-            page = self._pop_candidate()
-            if page is None:
+            want = min(
+                RECLAIM_BATCH,
+                nr_pages - reclaimed,
+                SCAN_BUDGET_PER_RECLAIM - scanned,
+            )
+            block = []
+            while len(block) < want:
+                page = self._pop_candidate()
+                if page is None:
+                    break
+                block.append(page)
+            if not block:
+                if system._evictions_in_flight:
+                    # Not a real exhaustion: the candidates are detached
+                    # into in-flight write batches.  Forcing an aging
+                    # walk here would clear accessed bits and advance
+                    # generations against a transiently empty list (the
+                    # correlated-mass-eviction failure mode); wait for a
+                    # batch to complete and re-pop instead.
+                    yield from system.wait_eviction_batch()
+                    continue
                 # Oldest generations exhausted: aging must create room.
                 # Run it inline (kernel try_to_inc_max_seq) unless the
                 # daemon already is, or we have tried twice.
@@ -296,31 +370,42 @@ class MGLRUPolicy(ReplacementPolicy):
                     continue
                 self.request_aging()
                 break
-            scanned += 1
-            # Check the accessed bit through the reverse map.
-            yield Compute(system.rmap.walk_cost_ns())
-            if _tp.mm_vmscan_scan is not None:
-                _tp.mm_vmscan_scan(page.vpn, int(page.accessed), 2)
-            if page.accessed:
-                page.accessed = False
-                self._promote_hot_candidate(page)
-                system.stats.promotions += 1
-                # Spatial locality: scan the PTEs around the hot page,
-                # promoting its accessed neighbours (§III-C), and feed
-                # the region into the aging walker's filter.
-                yield from self._scan_nearby(page.region)
-                continue
-            if page.kind is PageKind.FILE and not self.tiers.can_evict(page.tier):
-                # PID-protected tier: move up one generation instead.
-                target = min(page.gen_seq + 1, self.gens.max_seq)
-                self.gens.insert(page, target)
-                continue
-            ok = yield from system.evict_page(page)
-            if ok:
-                reclaimed += 1
-            else:
-                # Re-accessed during writeback: it is hot; promote it.
-                self.gens.insert(page, self.gens.max_seq)
+            scanned += len(block)
+            # Triage the whole block: one rmap charge and one
+            # accessed-bit snapshot instead of a walk per candidate.
+            yield Compute(self._walk_block_ns(len(block)))
+            flags = self._snapshot_accessed(block)
+            cold = []
+            hot_regions = []
+            for page, young in zip(block, flags):
+                if tp_scan is not None:
+                    tp_scan(page.vpn, int(young), 2)
+                if young:
+                    page.accessed = False
+                    self._promote_hot_candidate(page)
+                    system.stats.promotions += 1
+                    hot_regions.append(page.region)
+                elif page.kind is PageKind.FILE and not self.tiers.can_evict(
+                    page.tier
+                ):
+                    # PID-protected tier: move up one generation instead.
+                    target = min(page.gen_seq + 1, self.gens.max_seq)
+                    self.gens.insert(page, target)
+                else:
+                    cold.append(page)
+            # Spatial locality: scan the PTEs around each hot candidate,
+            # promoting its accessed neighbours (§III-C), and feed the
+            # regions into the aging walker's filter.
+            if hot_regions:
+                yield from self._scan_nearby_many(hot_regions)
+            if cold:
+                n_ok, aborted = yield from system.evict_pages(
+                    cold, recheck_accessed=True
+                )
+                reclaimed += n_ok
+                for page in aborted:
+                    # Re-accessed during writeback: it is hot; promote.
+                    self.gens.insert(page, self.gens.max_seq)
         if self.gens.min_seq > self._max_evictable_seq():
             self.request_aging()
         return reclaimed
@@ -336,37 +421,55 @@ class MGLRUPolicy(ReplacementPolicy):
         else:
             self.gens.insert(page, self.gens.max_seq)
 
-    def _scan_nearby(self, region) -> Iterator[Any]:
-        """Eviction-time spatial scan of one page-table region."""
+    def _scan_nearby_many(self, regions) -> Iterator[Any]:
+        """Eviction-time spatial scan of the hot candidates' regions.
+
+        The whole round's scans are charged as one ``Compute`` (each
+        region's PTE walk plus its Bloom-filter insert), then the
+        promote passes run back to back — a separate completion event
+        per region bought nothing.  Presence/accessed bits are read
+        *after* the cost yield (they may change during it), batched per
+        region.
+        """
         assert self.system is not None
         system = self.system
         costs = system.costs
-        if region is None:
+        bloom = self.params.scan_mode is ScanMode.BLOOM
+        scan_ns = 0
+        todo = []
+        for region in regions:
+            if region is None:
+                continue
+            todo.append(region)
+            scan_ns += region.n_ptes * costs.pte_nearby_scan_ns
+            if bloom:
+                scan_ns += costs.bloom_op_ns
+        if not todo:
             return
-        yield Compute(region.n_ptes * costs.pte_nearby_scan_ns)
-        system.stats.ptes_scanned_nearby += region.n_ptes
-        promoted = 0
-        # Presence/accessed are read *after* the scan-cost yield (they
-        # may have changed during it), batched over the region.
+        yield Compute(scan_ns)
         flat = system.address_space.page_table.flat_view()
-        idx = region.flat_indices(flat)
-        mask = flat.present[idx] & flat.accessed[idx]
-        if mask.any():
-            tp_tier = _tp.mglru_tier_promote
-            for page in flat.pages[idx[mask]]:
-                if page._ilist_owner is not None:
-                    page.accessed = False
-                    if page.kind is PageKind.FILE:
-                        page.tier = min(page.tier + 1, self.params.n_tiers - 1)
-                        if tp_tier is not None:
-                            tp_tier(page.vpn, page.tier)
-                    else:
-                        self.gens.promote(page)
-                    promoted += 1
+        tp_tier = _tp.mglru_tier_promote
+        promoted = 0
+        for region in todo:
+            system.stats.ptes_scanned_nearby += region.n_ptes
+            idx = region.flat_indices(flat)
+            mask = flat.present[idx] & flat.accessed[idx]
+            if mask.any():
+                for page in flat.pages[idx[mask]]:
+                    if page._ilist_owner is not None:
+                        page.accessed = False
+                        if page.kind is PageKind.FILE:
+                            page.tier = min(
+                                page.tier + 1, self.params.n_tiers - 1
+                            )
+                            if tp_tier is not None:
+                                tp_tier(page.vpn, page.tier)
+                        else:
+                            self.gens.promote(page)
+                        promoted += 1
+            if bloom:
+                self._bloom_next.add(region.index)
         system.stats.promotions += promoted
-        if self.params.scan_mode is ScanMode.BLOOM:
-            yield Compute(costs.bloom_op_ns)
-            self._bloom_next.add(region.index)
         # Refresh tier protection as eviction pressure evolves.
         self.tiers.update_protection()
 

@@ -67,16 +67,22 @@ class RandomPolicy(ReplacementPolicy):
         reclaimed = 0
         attempts = 0
         while reclaimed < nr_pages and attempts < nr_pages * 4:
-            if not self._pages:
+            want = min(nr_pages - reclaimed, nr_pages * 4 - attempts)
+            # Draw the whole block before yielding: the picks consume
+            # the dedicated policy stream in the same order either way,
+            # and each pick sees the array as the previous picks left it.
+            block = []
+            while len(block) < want and self._pages:
+                pick = int(self._rng.integers(0, len(self._pages)))
+                page = self._pages[pick]
+                self._remove(page)
+                block.append(page)
+            if not block:
                 break
-            attempts += 1
-            pick = int(self._rng.integers(0, len(self._pages)))
-            page = self._pages[pick]
-            self._remove(page)
-            ok = yield from system.evict_page(page)
-            if ok:
-                reclaimed += 1
-            else:
+            attempts += len(block)
+            n_ok, aborted = yield from system.evict_pages(block)
+            reclaimed += n_ok
+            for page in aborted:
                 self.on_page_inserted(page, None)
         return reclaimed
 

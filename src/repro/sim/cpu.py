@@ -55,6 +55,15 @@ class CPU:
         self._rate = 1.0
         self._last_update = 0
         self._timer_version = 0
+        #: Head target / rate the live timer was armed for (target < 0
+        #: means no live timer).  While the heap head and the rate are
+        #: unchanged, the armed timer still fires at the exact
+        #: completion instant (service accrues linearly), so
+        #: submissions that do not change either can skip the re-arm
+        #: entirely instead of superseding the timer with an identical
+        #: one.  Two scalar fields beat a tuple in the submit path.
+        self._armed_target = -1.0
+        self._armed_rate = 0.0
         #: Integral of busy logical CPUs over time (ns·cpus).
         self.busy_cpu_ns = 0.0
 
@@ -106,17 +115,23 @@ class CPU:
         n = self._n_jobs = self._n_jobs + 1
         # _set_rate()
         rate = self._rate = 1.0 if n <= self.n_cpus else self.n_cpus / n
-        # _arm_timer()
-        version = self._timer_version = self._timer_version + 1
-        deficit = self._heap[0][0] - self._service
-        if deficit > _EPSILON:
-            exact = deficit / rate
-            delay = int(exact)
-            if delay < exact:
-                delay += 1  # ceiling without float drift on exact values
-        else:
-            delay = 0
-        self._engine.schedule1(delay, self._on_timer, version)
+        # _arm_timer(), elided when the live timer is still exact: the
+        # new job neither became the heap head nor changed the rate, so
+        # the armed fire instant is unchanged.
+        target = self._heap[0][0]
+        if target != self._armed_target or rate != self._armed_rate:
+            self._armed_target = target
+            self._armed_rate = rate
+            version = self._timer_version = self._timer_version + 1
+            deficit = target - self._service
+            if deficit > _EPSILON:
+                exact = deficit / rate
+                delay = int(exact)
+                if delay < exact:
+                    delay += 1  # ceiling without float drift on exact values
+            else:
+                delay = 0
+            self._engine.schedule1(delay, self._on_timer, version)
         if _tp.sched_runnable is not None:
             _tp.sched_runnable(n)
 
@@ -140,8 +155,11 @@ class CPU:
         """Arm (or re-arm) the completion timer for the earliest target."""
         self._timer_version += 1
         if not self._heap:
+            self._armed_target = -1.0
             return
         target = self._heap[0][0]
+        self._armed_target = target
+        self._armed_rate = self._rate
         deficit = max(0.0, target - self._service)
         if deficit > _EPSILON:
             exact = deficit / self._rate
@@ -155,6 +173,7 @@ class CPU:
     def _on_timer(self, version: int) -> None:
         if version != self._timer_version:
             return  # superseded by a newer set change
+        self._armed_target = -1.0  # this timer is consumed
         # _advance()
         now = self._engine._now
         dt = now - self._last_update
@@ -180,7 +199,10 @@ class CPU:
         # _arm_timer()
         version = self._timer_version = self._timer_version + 1
         if heap:
-            deficit = heap[0][0] - self._service
+            target = heap[0][0]
+            self._armed_target = target
+            self._armed_rate = rate
+            deficit = target - self._service
             if deficit > _EPSILON:
                 exact = deficit / rate
                 delay = int(exact)

@@ -13,6 +13,8 @@ increasing sequence number breaks ties), which keeps runs deterministic.
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import DeadlockError, SimulationError
@@ -38,16 +40,33 @@ class Engine:
     carrying the argument in the tuple lets the hot paths (thread steps,
     CPU timers) schedule bound methods directly instead of building a
     closure per event.
+
+    Zero-delay fast path: an event scheduled with ``delay_ns == 0``
+    belongs to the current instant, so it skips the heap and lands in
+    the ``_imm`` deque, tagged with the same monotone sequence number a
+    heap push would have received.  The deque is FIFO — already seq
+    order — and the run loop compares its head's seq against any heap
+    entry for the *same* instant, so execution order is provably
+    identical to the heap-only path while fault completions, resource
+    grants, waker kicks and thread spawns skip a heappush+heappop
+    round-trip.  ``REPRO_FAST_ENGINE=0`` (or ``fast=False``) forces the
+    heap-only reference behaviour for A/B verification.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fast: Optional[bool] = None) -> None:
         self._queue: list[tuple[int, int, Callable[[Any], None], Any]] = []
+        #: Zero-delay events for the current instant, in schedule order:
+        #: ``(seq, fn, arg)``, seq shared with the heap's numbering.
+        self._imm: deque[tuple[int, Callable[[Any], None], Any]] = deque()
         self._now = 0
         self._seq = 0
         self._threads: list[SimThread] = []
         self._running = False
         #: Live non-daemon threads (kept incrementally; checked per event).
         self._n_live_foreground = 0
+        if fast is None:
+            fast = os.environ.get("REPRO_FAST_ENGINE", "1") != "0"
+        self._fast = bool(fast)
 
     # ------------------------------------------------------------------
     # Clock and scheduling
@@ -63,6 +82,9 @@ class Engine:
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
         self._seq += 1
+        if delay_ns == 0 and self._fast:
+            self._imm.append((self._seq, _call0, fn))
+            return
         heapq.heappush(self._queue, (self._now + delay_ns, self._seq, _call0, fn))
 
     def schedule1(
@@ -72,7 +94,23 @@ class Engine:
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
         self._seq += 1
+        if delay_ns == 0 and self._fast:
+            # Always deque-eligible: the entry carries the seq a heap
+            # push would have used, and the run loop arbitrates against
+            # same-instant heap entries by that seq.
+            self._imm.append((self._seq, fn, arg))
+            return
         heapq.heappush(self._queue, (self._now + delay_ns, self._seq, fn, arg))
+
+    def _inline_ok(self) -> bool:
+        """True when a zero-delay continuation may run *immediately*
+        (inside the current event) instead of via the queue: nothing else
+        is pending at this instant, so no event could be reordered."""
+        return (
+            self._fast
+            and not self._imm
+            and (not self._queue or self._queue[0][0] > self._now)
+        )
 
     def schedule_at(self, when_ns: int, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``when_ns``."""
@@ -131,16 +169,35 @@ class Engine:
         self._running = True
         heappop = heapq.heappop
         queue = self._queue
+        imm = self._imm
+        imm_popleft = imm.popleft
+        # Sentinel keeps the per-event bound test a plain int compare.
+        until = (1 << 62) if until_ns is None else until_ns
         try:
-            while queue:
-                if until_ns is not None and queue[0][0] > until_ns:
-                    self._now = until_ns
-                    return self._now
-                when, _seq, fn, arg = heappop(queue)
-                if when < self._now:
-                    raise SimulationError("event queue went backwards in time")
-                self._now = when
-                fn(arg)
+            while True:
+                # Zero-delay events belong to the current instant; the
+                # heap may also hold entries for this instant, so the
+                # shared seq numbering decides which fires first.
+                if imm:
+                    if queue and queue[0][0] == self._now and queue[0][1] < imm[0][0]:
+                        _when, _seq, fn, arg = heappop(queue)
+                        fn(arg)
+                    else:
+                        _seq, fn, arg = imm_popleft()
+                        fn(arg)
+                elif queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return self._now
+                    when, _seq, fn, arg = heappop(queue)
+                    if when < self._now:
+                        raise SimulationError(
+                            "event queue went backwards in time"
+                        )
+                    self._now = when
+                    fn(arg)
+                else:
+                    break
                 if self._n_live_foreground == 0:
                     return self._now
             blocked = self._live_foreground_threads()

@@ -110,36 +110,54 @@ class SimThread:
         if self._finished:
             raise SimulationError(f"thread {self.name!r} resumed after finish")
         self._started = True
-        try:
-            command = self._gen.send(value)
-        except StopIteration as stop:
-            self._finished = True
-            self._result = stop.value
-            self.finish_time_ns = self._engine.now
-            self._engine._thread_finished(self)
-            self.done_event.fire(stop.value)
-            return
-        # Exact-type dispatch first (the two commands that dominate every
-        # trial); anything else — including subclasses — goes through the
-        # isinstance chain in :meth:`_dispatch`.
-        cls = type(command)
-        if cls is Compute:
-            ns = command.ns
-            if ns <= 0:
-                self._engine.schedule1(0, self._step, None)
+        engine = self._engine
+        while True:
+            try:
+                command = self._gen.send(value)
+            except StopIteration as stop:
+                self._finished = True
+                self._result = stop.value
+                self.finish_time_ns = engine.now
+                engine._thread_finished(self)
+                self.done_event.fire(stop.value)
                 return
-            cpu = self.cpu
-            if cpu is None:
-                raise SimulationError(
-                    f"thread {self.name!r} yielded Compute with no CPU set"
-                )
-            self.compute_requested_ns += ns
-            cpu.submit(self, ns)
-        elif cls is Sleep:
-            ns = command.ns
-            self._engine.schedule1(ns if ns > 0 else 0, self._step, None)
-        else:
-            self._dispatch(command)
+            # Exact-type dispatch first (the two commands that dominate
+            # every trial); anything else — including subclasses — goes
+            # through the isinstance chain in :meth:`_dispatch`.
+            cls = type(command)
+            if cls is Compute:
+                ns = command.ns
+                if ns <= 0:
+                    # Zero-cost compute completes at this very instant.
+                    # When nothing else is pending at the current instant
+                    # the generator may continue inside this step —
+                    # provably the same order as a zero-delay round-trip
+                    # through the queue would give.
+                    if engine._inline_ok():
+                        value = None
+                        continue
+                    engine.schedule1(0, self._step, None)
+                    return
+                cpu = self.cpu
+                if cpu is None:
+                    raise SimulationError(
+                        f"thread {self.name!r} yielded Compute with no "
+                        "CPU set"
+                    )
+                self.compute_requested_ns += ns
+                cpu.submit(self, ns)
+            elif cls is Sleep:
+                ns = command.ns
+                if ns <= 0:
+                    if engine._inline_ok():
+                        value = None
+                        continue
+                    engine.schedule1(0, self._step, None)
+                    return
+                engine.schedule1(ns, self._step, None)
+            else:
+                self._dispatch(command)
+            return
 
     def _dispatch(self, command: Any) -> None:
         if isinstance(command, Compute):

@@ -40,11 +40,19 @@ class FifoResource:
         """Requests waiting for a slot."""
         return len(self._waiters)
 
-    def acquire(self) -> Iterator[Any]:
-        """Generator to ``yield from``; returns once a slot is granted."""
+    def try_acquire(self) -> bool:
+        """Claim a slot without waiting; ``False`` means the caller must
+        go through :meth:`acquire` and queue.  Lets hot paths skip the
+        generator frame when the resource is uncontended."""
         if self._in_use < self.capacity and not self._waiters:
             self._in_use += 1
             self.total_acquisitions += 1
+            return True
+        return False
+
+    def acquire(self) -> Iterator[Any]:
+        """Generator to ``yield from``; returns once a slot is granted."""
+        if self.try_acquire():
             return
         grant = OneShotEvent(f"{self.name}-grant")
         self._waiters.append(grant)

@@ -4,13 +4,20 @@ A device exposes ``read(page)`` and ``write(page)`` as generators the
 fault/reclaim paths ``yield from``; latency and queueing are entirely the
 device's concern.  ``discard(page)`` releases any stored copy when the
 system drops a stale swap slot (a page was re-dirtied while resident).
+
+``write_batch(pages)`` is the reclaim fast lane's batched submission:
+one generator drives the swap-out of a whole eviction triage block.
+Devices that understand batching (SSD, ZRAM) override it with a
+single-completion-event implementation whose per-page service latencies
+are identical to N serial submissions; the default here falls back to
+serial writes so third-party devices keep working unchanged.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.mm.page import Page
 
@@ -47,6 +54,18 @@ class SwapDevice(abc.ABC):
     @abc.abstractmethod
     def write(self, page: Page) -> Iterator[Any]:
         """Generator: store *page*'s 4 KiB to the medium (swap-out)."""
+
+    def write_batch(
+        self, pages: Sequence[Page], fast: bool = True
+    ) -> Iterator[Any]:
+        """Generator: store a block of pages (swap-out batch).
+
+        ``fast`` selects the vectorized latency kernel where the device
+        has one; both settings must produce bit-identical simulations.
+        The base implementation is a serial fallback.
+        """
+        for page in pages:
+            yield from self.write(page)
 
     def discard(self, page: Page) -> None:
         """Drop any stored copy of *page* (slot freed without a read)."""

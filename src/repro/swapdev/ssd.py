@@ -11,7 +11,9 @@ before the application continues" (§VI-B).
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from collections import deque
+from heapq import heappush, heapreplace
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
@@ -19,13 +21,22 @@ from repro.mm.costs import SSDCosts
 from repro.mm.page import Page
 from repro.sim.engine import Engine
 from repro.sim.events import Sleep
-from repro.sim.resources import FifoResource
 from repro.swapdev.base import SwapDevice
 from repro.trace import tracepoints as _tp
 
 
 class SSDSwapDevice(SwapDevice):
-    """A swap-backing SSD with FIFO queueing and latency jitter."""
+    """A swap-backing SSD with FIFO queueing and latency jitter.
+
+    Queueing is modeled *analytically*: ``queue_depth`` slots each carry
+    a busy-until time in a min-heap, and a FIFO submission begins
+    service at ``max(now, earliest slot-free instant)``.  This yields
+    the identical grant instants, completion times and jitter-draw order
+    as an event-based FIFO resource (grants happen in arrival order
+    either way), but each I/O costs exactly one ``Sleep`` event — no
+    wait/grant round-trips through the queue even under saturation,
+    which is the common state at 50% memory on SSD.
+    """
 
     name = "ssd"
 
@@ -45,9 +56,30 @@ class SSDSwapDevice(SwapDevice):
         self._engine = engine
         self._rng = rng
         self.costs = costs
-        self._queue = FifoResource(costs.queue_depth, name="ssd-queue")
+        #: Busy-until instants of the in-flight slots (min-heap, at most
+        #: ``queue_depth`` entries; fewer means a slot is idle).
+        self._slot_busy: list[int] = []
+        #: Service-begin instants of outstanding I/Os, non-decreasing
+        #: (FIFO); pruned lazily by :attr:`queue_length`.
+        self._begins: deque[int] = deque()
         self._jitter_pool = None
         self._jitter_pos = 0
+
+    def _slot_begin(self, now: int) -> int:
+        """Instant the next FIFO submission begins service."""
+        slots = self._slot_busy
+        if len(slots) < self.costs.queue_depth:
+            return now
+        head = slots[0]
+        return head if head > now else now
+
+    def _slot_take(self, done: int) -> None:
+        """Occupy the earliest-free slot until *done*."""
+        slots = self._slot_busy
+        if len(slots) < self.costs.queue_depth:
+            heappush(slots, done)
+        else:
+            heapreplace(slots, done)
 
     def _latency_ns(self, base_ns: int) -> int:
         pos = self._jitter_pos
@@ -60,35 +92,114 @@ class SSDSwapDevice(SwapDevice):
         self._jitter_pos = pos + 1
         return max(1, int(base_ns * pool[pos]))
 
-    def _io(self, base_ns: int) -> Iterator[Any]:
-        start = self._engine.now
-        yield from self._queue.acquire()
-        try:
-            yield Sleep(self._latency_ns(base_ns))
-        finally:
-            self._queue.release()
-        return self._engine.now - start
+    def _take_jitter(self, n: int) -> np.ndarray:
+        """The next *n* jitter factors, consumed from the pool in slices
+        (refills land at exactly the same points as n scalar takes)."""
+        out = np.empty(n, dtype=np.float64)
+        filled = 0
+        while filled < n:
+            pos = self._jitter_pos
+            pool = self._jitter_pool
+            if pool is None or pos >= pool.shape[0]:
+                pool = self._jitter_pool = self._rng.lognormal(
+                    mean=0.0,
+                    sigma=self.costs.jitter_sigma,
+                    size=self.JITTER_POOL,
+                )
+                pos = 0
+            take = min(n - filled, pool.shape[0] - pos)
+            out[filled : filled + take] = pool[pos : pos + take]
+            self._jitter_pos = pos + take
+            filled += take
+        return out
 
     def read(self, page: Page) -> Iterator[Any]:
-        """Swap-in: one queued 4 KiB read."""
-        waited = yield from self._io(self.costs.read_ns)
+        """Swap-in: one queued 4 KiB read, one ``Sleep`` event."""
+        now = self._engine._now
+        begin = self._slot_begin(now)
+        done = begin + self._latency_ns(self.costs.read_ns)
+        self._slot_take(done)
+        self._begins.append(begin)
+        yield Sleep(done - now)
+        waited = done - now
         self.stats.reads += 1
         self.stats.read_wait_ns += waited
         if _tp.swap_io_done is not None:
             _tp.swap_io_done(page.vpn, waited, 0)
 
     def write(self, page: Page) -> Iterator[Any]:
-        """Swap-out: one queued 4 KiB write."""
-        waited = yield from self._io(self.costs.write_ns)
+        """Swap-out: one queued 4 KiB write, one ``Sleep`` event."""
+        now = self._engine._now
+        begin = self._slot_begin(now)
+        done = begin + self._latency_ns(self.costs.write_ns)
+        self._slot_take(done)
+        self._begins.append(begin)
+        yield Sleep(done - now)
+        waited = done - now
         self.stats.writes += 1
         self.stats.write_wait_ns += waited
         if _tp.swap_io_done is not None:
             _tp.swap_io_done(page.vpn, waited, 1)
 
+    def write_batch(
+        self, pages: Sequence[Page], fast: bool = True
+    ) -> Iterator[Any]:
+        """Swap-out a whole eviction block in one queued submission.
+
+        The batch acquires one device slot, services its pages back to
+        back, and completes in a single event.  Per-page service
+        latencies are drawn from the same jitter pool in the same order
+        as N serial writes; each page's reported wait is the shared
+        queueing delay plus its completion offset within the batch —
+        i.e. exactly when it would finish if submitted serially into an
+        otherwise idle slot.  ``fast`` only switches the latency math
+        between the vectorized and the scalar kernel (identical values).
+        """
+        n = len(pages)
+        if n == 1:
+            # Single page: the scalar path is both faster and obviously
+            # identical.
+            yield from self.write(pages[0])
+            return
+        now = self._engine._now
+        begin = self._slot_begin(now)
+        base = self.costs.write_ns
+        if fast:
+            jit = self._take_jitter(n)
+            lats = np.maximum(1, (base * jit).astype(np.int64))
+            total = int(lats.sum())
+            ends = np.cumsum(lats)
+        else:
+            scalar_lats = [self._latency_ns(base) for _ in range(n)]
+            acc = 0
+            ends = []
+            for lat in scalar_lats:
+                acc += lat
+                ends.append(acc)
+            total = acc
+        queue_wait = begin - now
+        self._slot_take(begin + total)
+        self._begins.append(begin)
+        yield Sleep(begin + total - now)
+        if fast:
+            waits = (queue_wait + ends).tolist()
+        else:
+            waits = [queue_wait + end for end in ends]
+        self.stats.writes += n
+        self.stats.write_wait_ns += sum(waits)
+        tp = _tp.swap_io_done
+        if tp is not None:
+            for page, waited in zip(pages, waits):
+                tp(page.vpn, waited, 1)
+
     @property
     def queue_length(self) -> int:
         """I/Os currently waiting for a device slot."""
-        return self._queue.queue_length
+        begins = self._begins
+        now = self._engine._now
+        while begins and begins[0] <= now:
+            begins.popleft()
+        return len(begins)
 
     def describe(self) -> str:
         return (

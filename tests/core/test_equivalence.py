@@ -46,6 +46,8 @@ def _config(policy: str, swap: str) -> SystemConfig:
         ("mglru", "zram"),
         ("fifo", "ssd"),
         ("random", "zram"),
+        ("opt", "ssd"),
+        ("opt", "zram"),
     ],
 )
 def test_fast_path_bit_identical(monkeypatch, policy, swap):

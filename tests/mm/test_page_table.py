@@ -1,5 +1,8 @@
-"""Page table: region layout, lookups, scan order."""
+"""Page table: region layout, lookups, scan order, flat-view memo."""
 
+import gc
+
+import numpy as np
 import pytest
 
 from repro._units import PTES_PER_REGION
@@ -81,3 +84,49 @@ class TestPageTable:
         table = PageTable()
         table.map_page(Page(100 * PTES_PER_REGION))
         assert table.n_regions == 1
+
+
+class TestTranslateMemo:
+    def _flat(self, n_pages=64):
+        table = PageTable()
+        for vpn in range(n_pages):
+            table.map_page(Page(vpn))
+        return table.flat_view()
+
+    def test_repeat_translation_is_memoized(self):
+        flat = self._flat()
+        vpns = np.arange(10, 20, dtype=np.int64)
+        first = flat.translate(vpns)
+        assert first is not None
+        # Same array object again: the memoized indices come back as-is.
+        assert flat.translate(vpns) is first
+
+    def test_overflow_evicts_one_entry_not_all(self):
+        """Regression: exceeding the memo bound used to clear the whole
+        memo, re-translating every live trace array on its next batch.
+        Now a single entry is evicted and recent arrays stay cached."""
+        flat = self._flat()
+        arrays = [
+            np.array([i % 64], dtype=np.int64) for i in range(300)
+        ]
+        results = [flat.translate(a) for a in arrays]
+        assert len(flat._memo) <= 258  # bounded, not unbounded
+        # Recently translated live arrays must still be memo hits.
+        for a, r in zip(arrays[-200:], results[-200:]):
+            assert flat.translate(a) is r
+
+    def test_dead_entries_evicted_before_live_ones(self):
+        flat = self._flat()
+        keep = [np.array([i], dtype=np.int64) for i in range(60)]
+        kept_results = [flat.translate(a) for a in keep]
+        # Fill the memo past its bound with arrays we drop immediately.
+        for i in range(250):
+            flat.translate(np.array([i % 64, (i + 1) % 64], dtype=np.int64))
+        gc.collect()
+        flat.translate(np.arange(5, dtype=np.int64))  # trigger evictions
+        for a, r in zip(keep, kept_results):
+            assert flat.translate(a) is r
+
+    def test_unmapped_vpn_returns_none(self):
+        flat = self._flat(n_pages=8)
+        assert flat.translate(np.array([3, 99], dtype=np.int64)) is None

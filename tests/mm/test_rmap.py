@@ -54,3 +54,27 @@ class TestCostModel:
         rmap = make_rmap(base=0, jitter=500)
         samples = [rmap.walk_cost_ns() for _ in range(4000)]
         assert np.mean(samples) == pytest.approx(500, rel=0.15)
+
+    def test_batched_costs_match_scalar_draws(self):
+        """walk_costs_ns(n) equals n scalar draws, bit for bit — the
+        contract the eviction-triage block charge rests on.  The total
+        spans several pool refills to pin the slice boundaries too."""
+        a = make_rmap(seed=42)
+        b = make_rmap(seed=42)
+        sizes = [1, 7, 32, a.JITTER_POOL, a.JITTER_POOL + 3, 256]
+        for n in sizes:
+            batched = a.walk_costs_ns(n)
+            scalars = np.array([b.walk_cost_ns() for _ in range(n)])
+            assert np.array_equal(batched, scalars)
+        assert a.walk_count == b.walk_count == sum(sizes)
+
+    def test_batched_costs_interleave_with_scalar(self):
+        """Mixing batch and scalar draws on one walker keeps the stream
+        aligned with an all-scalar reference."""
+        a = make_rmap(seed=7)
+        b = make_rmap(seed=7)
+        mixed = list(a.walk_costs_ns(10)) + [a.walk_cost_ns()] + list(
+            a.walk_costs_ns(5)
+        )
+        reference = [b.walk_cost_ns() for _ in range(16)]
+        assert mixed == reference

@@ -1,12 +1,19 @@
-"""Belady's OPT and true-LRU offline evaluators."""
+"""Belady's OPT: offline evaluators and the online surrogate policy."""
 
-import numpy as np
+from types import SimpleNamespace
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.policies.opt import belady_misses, lru_misses, next_use_positions
+from repro.policies.opt import (
+    OPTPolicy,
+    belady_misses,
+    lru_misses,
+    next_use_positions,
+)
+from tests.conftest import make_small_system, run_threads, touch_all
 
 
 class TestNextUse:
@@ -81,3 +88,88 @@ class TestOptimalityProperty:
         m_small = belady_misses(trace, 2)
         m_big = belady_misses(trace, 6)
         assert m_big <= m_small
+
+
+def _page(vpn):
+    """A stand-in page: the candidate heap only touches ``.vpn``."""
+    return SimpleNamespace(vpn=vpn)
+
+
+class TestOPTPolicyMechanics:
+    def test_bad_default_horizon_rejected(self):
+        with pytest.raises(ConfigError):
+            OPTPolicy(default_reuse_ns=0)
+
+    def test_pop_returns_farthest_prediction(self):
+        pol = OPTPolicy()
+        a, b, c = _page(1), _page(2), _page(3)
+        pol._push(a, 100)
+        pol._push(b, 300)
+        pol._push(c, 200)
+        assert pol._pop_candidate() is b
+        assert pol._pop_candidate() is c
+        assert pol._pop_candidate() is a
+        assert pol._pop_candidate() is None
+
+    def test_repush_supersedes_stale_entry(self):
+        pol = OPTPolicy()
+        a, b = _page(1), _page(2)
+        pol._push(a, 500)
+        pol._push(b, 100)
+        pol._push(a, 50)  # refreshed prediction: a is now nearest
+        assert pol._pop_candidate() is b
+        assert pol._pop_candidate() is a
+        assert pol._pop_candidate() is None
+        assert pol._heap == []  # stale entries were drained, not kept
+
+    def test_unknown_pages_predicted_farther_than_known_reusers(self):
+        pol = OPTPolicy()
+        pol._ewma[5] = 1_000
+        assert pol._predict(5, now=10) == 1_010
+        assert pol._predict(6, now=10) == 10 + pol.default_reuse_ns
+
+    def test_insert_halves_interval_into_ewma(self):
+        pol = OPTPolicy()
+        engine = SimpleNamespace(now=0)
+        pol.system = SimpleNamespace(engine=engine)
+        page = _page(7)
+        pol.on_page_inserted(page, None)  # first fault: no interval yet
+        assert 7 not in pol._ewma
+        engine.now = 1_000
+        pol.on_page_inserted(page, None)
+        assert pol._ewma[7] == 1_000
+        engine.now = 3_000
+        pol.on_page_inserted(page, None)
+        assert pol._ewma[7] == (1_000 + 2_000) >> 1
+        assert pol.resident_count() == 3
+
+
+class TestOPTPolicySystem:
+    def test_runs_and_reclaims(self):
+        eng, system, vma = make_small_system("opt", capacity=128, heap_pages=256)
+
+        def body():
+            yield from touch_all(system, vma)
+            yield from touch_all(system, vma)
+
+        run_threads(eng, system, [body()])
+        assert system.stats.evictions > 0
+        # kswapd may hold a few candidates mid-writeback at snapshot
+        # time, so the policy may track slightly fewer than n_used.
+        gap = system.frames.n_used - system.policy.resident_count()
+        assert 0 <= gap <= 32
+
+    def test_deterministic_under_seed(self):
+        def faults(seed):
+            eng, system, vma = make_small_system(
+                "opt", capacity=128, heap_pages=256, seed=seed
+            )
+
+            def body():
+                yield from touch_all(system, vma)
+                yield from touch_all(system, vma)
+
+            run_threads(eng, system, [body()])
+            return system.stats.major_faults
+
+        assert faults(3) == faults(3)

@@ -59,6 +59,92 @@ class TestScheduling:
         assert engine.now == 200
 
 
+class TestImmediateFastPath:
+    """The zero-delay deque must be execution-order-identical to the
+    heap-only reference — runs toggle only which queue carries events."""
+
+    def test_zero_delay_lands_in_deque_only_when_fast(self):
+        fast = Engine(fast=True)
+        fast.schedule(0, lambda: None)
+        assert len(fast._imm) == 1 and not fast._queue
+        slow = Engine(fast=False)
+        slow.schedule(0, lambda: None)
+        assert not slow._imm and len(slow._queue) == 1
+
+    @staticmethod
+    def _run_order(fast: bool) -> list:
+        """Interleave zero-delay events with same-instant heap entries.
+
+        At t=5 the earlier-scheduled callback A fires first and enqueues
+        a zero-delay C; the heap still holds B for t=5 with a *smaller*
+        sequence number, so B must run before C in both modes."""
+        engine = Engine(fast=fast)
+        order = []
+        engine.schedule(
+            5,
+            lambda: (
+                order.append("A"),
+                engine.schedule(0, lambda: order.append("C")),
+                engine.schedule(0, lambda: order.append("D")),
+            ),
+        )
+        engine.schedule(5, lambda: order.append("B"))
+        engine.spawn(TestScheduling._sleeper(10), name="keepalive")
+        engine.run()
+        return order
+
+    def test_same_instant_heap_entry_beats_younger_imm_entry(self):
+        assert self._run_order(fast=True) == ["A", "B", "C", "D"]
+
+    def test_fast_order_matches_heap_reference(self):
+        assert self._run_order(fast=True) == self._run_order(fast=False)
+
+    @staticmethod
+    def _chain_order(fast: bool) -> list:
+        engine = Engine(fast=fast)
+        order = []
+
+        def first():
+            order.append("a")
+            engine.schedule(0, lambda: order.append("c"))
+
+        engine.schedule(0, first)
+        engine.schedule(0, lambda: order.append("b"))
+        engine.spawn(TestScheduling._sleeper(10), name="keepalive")
+        engine.run()
+        return order
+
+    def test_zero_delay_chain_is_fifo(self):
+        assert self._chain_order(fast=True) == ["a", "b", "c"]
+        assert self._chain_order(fast=True) == self._chain_order(fast=False)
+
+    def test_inline_ok_only_when_nothing_else_pending(self):
+        engine = Engine(fast=True)
+        assert engine._inline_ok()
+        engine.schedule(0, lambda: None)
+        assert not engine._inline_ok()  # a deque entry could reorder
+        engine._imm.clear()
+        engine.schedule(3, lambda: None)
+        assert engine._inline_ok()  # future heap entry: no conflict
+        engine._now = 3
+        assert not engine._inline_ok()  # same-instant heap entry
+        assert not Engine(fast=False)._inline_ok()
+
+    def test_zero_delay_spawn_keeps_spawn_order(self):
+        for fast in (True, False):
+            engine = Engine(fast=fast)
+            order = []
+
+            def body(tag):
+                order.append(tag)
+                yield Sleep(1)
+
+            for tag in ("x", "y", "z"):
+                engine.spawn(body(tag), name=tag)
+            engine.run()
+            assert order == ["x", "y", "z"], f"fast={fast}"
+
+
 class TestThreads:
     def test_thread_result_captured(self):
         engine = Engine()

@@ -68,6 +68,102 @@ class TestSSD:
         device = SSDSwapDevice(Engine(), np.random.default_rng(0))
         assert "ssd" in device.describe()
 
+    def test_queue_length_counts_waiting_ios(self):
+        engine = Engine()
+        costs = SSDCosts(jitter_sigma=0.0, queue_depth=1)
+        device = SSDSwapDevice(engine, np.random.default_rng(0), costs)
+
+        def body(i):
+            yield from device.read(Page(i))
+
+        for i in range(3):
+            engine.spawn(body(i), name=f"io{i}")
+        engine.run(until_ns=costs.read_ns // 2)
+        # One I/O in service, two queued behind the single slot.
+        assert device.queue_length == 2
+        engine.run()
+        assert device.queue_length == 0
+
+
+class TestSSDWriteBatch:
+    def _device(self, engine, seed=0, **costs):
+        return SSDSwapDevice(
+            engine, np.random.default_rng(seed), SSDCosts(**costs)
+        )
+
+    @staticmethod
+    def _run_batch(engine, device, pages, fast):
+        def body():
+            yield from device.write_batch(pages, fast=fast)
+
+        engine.spawn(body(), name="batch")
+        return engine.run()
+
+    def test_fast_matches_scalar_kernel(self):
+        """The vectorized and scalar latency kernels must agree on the
+        completion instant and every per-page wait, to the bit."""
+        pages = [Page(v) for v in range(7)]
+        engine_a = Engine()
+        dev_a = self._device(engine_a, seed=3)
+        end_a = self._run_batch(engine_a, dev_a, pages, fast=True)
+        engine_b = Engine()
+        dev_b = self._device(engine_b, seed=3)
+        end_b = self._run_batch(engine_b, dev_b, pages, fast=False)
+        assert end_a == end_b
+        assert dev_a.stats.writes == dev_b.stats.writes == 7
+        assert dev_a.stats.write_wait_ns == dev_b.stats.write_wait_ns
+
+    def test_batch_draws_jitter_like_serial_writes(self):
+        """A batch consumes the jitter stream exactly like N serial
+        writes: the batch completion equals the serial wall time."""
+        pages = [Page(v) for v in range(5)]
+        engine_a = Engine()
+        dev_a = self._device(engine_a, seed=11)
+        end_batch = self._run_batch(engine_a, dev_a, pages, fast=True)
+        engine_b = Engine()
+        dev_b = self._device(engine_b, seed=11)
+        end_serial = drive(engine_b, dev_b, [("w", p) for p in pages])
+        assert end_batch == end_serial
+
+    def test_batch_waits_are_cumulative(self):
+        """Per-page waits report each page's completion offset within
+        the batch, as if submitted serially into an idle slot."""
+        engine = Engine()
+        device = self._device(engine, jitter_sigma=0.0)
+        pages = [Page(v) for v in range(4)]
+        self._run_batch(engine, device, pages, fast=True)
+        write_ns = device.costs.write_ns
+        assert device.stats.write_wait_ns == write_ns * (1 + 2 + 3 + 4)
+
+    def test_batch_occupies_one_device_slot(self):
+        """A 3-page batch on a qd=2 device leaves a slot free: a read
+        submitted alongside starts immediately."""
+        engine = Engine()
+        device = self._device(engine, jitter_sigma=0.0, queue_depth=2)
+        pages = [Page(v) for v in range(3)]
+
+        def batch():
+            yield from device.write_batch(pages, fast=True)
+
+        def reader():
+            yield from device.read(Page(99))
+
+        engine.spawn(batch(), name="batch")
+        engine.spawn(reader(), name="read")
+        end = engine.run()
+        assert end == 3 * device.costs.write_ns
+        assert device.stats.read_wait_ns == device.costs.read_ns
+
+    def test_single_page_batch_equals_plain_write(self):
+        engine_a = Engine()
+        dev_a = self._device(engine_a, seed=5)
+        end_a = self._run_batch(engine_a, dev_a, [Page(0)], fast=True)
+        engine_b = Engine()
+        dev_b = self._device(engine_b, seed=5)
+        end_b = drive(engine_b, dev_b, [("w", Page(0))])
+        assert end_a == end_b
+        assert dev_a.stats.write_wait_ns == dev_b.stats.write_wait_ns
+
 
 class TestZRAM:
     def _device(self, **kwargs):
