@@ -14,6 +14,10 @@ Each cell also carries the pre-fast-lane revision's recorded numbers
 (:data:`PRE_PR_BASELINE`, measured on the same reference box) so the
 JSON reports the cumulative end-to-end speedup of the reclaim rework.
 
+Each cell is also measured with the metrics registry attached
+(``metrics_on``); the ``metrics_overhead_x`` ratio gates the metering
+cost against the same tolerance within the run.
+
 Regression gate: the committed ``BENCH_reclaim.json`` is the baseline.
 
 - ``--check-mode absolute`` (default) compares each cell's ``fast_on``
@@ -46,6 +50,7 @@ import time
 
 from repro.core.config import SystemConfig
 from repro.core.experiment import run_trial
+from repro.metrics import MetricsConfig
 
 #: The reclaim-heavy cells: PageRank's working set at 50% capacity keeps
 #: kswapd and direct reclaim continuously busy on every one of these.
@@ -79,7 +84,7 @@ def _cell_key(cell: dict) -> str:
     return f"{cell['policy']}/{cell['swap']}"
 
 
-def _one_trial(cell: dict, fast: bool) -> tuple[float, dict]:
+def _one_trial(cell: dict, fast: bool, metrics: bool = False) -> tuple[float, dict]:
     """(wall seconds, raw counters) for one trial of *cell*."""
     config = SystemConfig(
         policy=cell["policy"], swap=cell["swap"], capacity_ratio=RATIO
@@ -89,7 +94,12 @@ def _one_trial(cell: dict, fast: bool) -> tuple[float, dict]:
         os.environ[name] = "1" if fast else "0"
     t0 = time.perf_counter()
     try:
-        trial = run_trial(WORKLOAD, config, SEED)
+        trial = run_trial(
+            WORKLOAD,
+            config,
+            SEED,
+            metrics=MetricsConfig() if metrics else None,
+        )
     finally:
         for name, value in previous.items():
             if value is None:
@@ -107,22 +117,43 @@ def _one_trial(cell: dict, fast: bool) -> tuple[float, dict]:
     return wall, counters
 
 
-def _measure(cell: dict, fast: bool, rounds: int) -> dict:
-    walls = []
+#: Configuration key → (fast, metrics) flags for :func:`_one_trial`.
+_CONFIGS = {
+    "fast_on": (True, False),
+    "fast_off": (False, False),
+    "metrics_on": (True, True),
+}
+
+
+def _measure_cell(cell: dict, rounds: int) -> dict:
+    """Best-of-*rounds* wall time for every configuration of *cell*.
+
+    The configurations are interleaved within each round (fast, scalar,
+    metered back to back) so slow drift of the host — thermal throttle,
+    noisy neighbours — lands on all three roughly equally and cancels
+    out of the ratios, instead of charging whichever configuration
+    happened to run last.
+    """
+    walls: dict = {key: [] for key in _CONFIGS}
     counters: dict = {}
     for _ in range(rounds):
-        wall, counters = _one_trial(cell, fast)
-        walls.append(wall)
-    best = min(walls)
-    return {
-        "rounds": rounds,
-        "wall_seconds": walls,
-        "best_wall_seconds": best,
-        **counters,
-        "acc_per_sec": counters["accesses"] / best,
-        "faults_per_sec": counters["faults"] / best,
-        "evictions_per_sec": counters["evictions"] / best,
-    }
+        for key, (fast, metrics) in _CONFIGS.items():
+            wall, counters[key] = _one_trial(cell, fast, metrics=metrics)
+            walls[key].append(wall)
+    out = {}
+    for key in _CONFIGS:
+        best = min(walls[key])
+        c = counters[key]
+        out[key] = {
+            "rounds": rounds,
+            "wall_seconds": walls[key],
+            "best_wall_seconds": best,
+            **c,
+            "acc_per_sec": c["accesses"] / best,
+            "faults_per_sec": c["faults"] / best,
+            "evictions_per_sec": c["evictions"] / best,
+        }
+    return out
 
 
 def _check_baseline(
@@ -225,17 +256,33 @@ def main(argv: list[str] | None = None) -> int:
     _one_trial(CELLS[0], fast=True)
 
     cells: dict = {}
+    metrics_failures = 0
     for cell in CELLS:
         key = _cell_key(cell)
-        fast = _measure(cell, fast=True, rounds=rounds)
-        slow = _measure(cell, fast=False, rounds=rounds)
+        measured = _measure_cell(cell, rounds)
+        fast = measured["fast_on"]
+        slow = measured["fast_off"]
+        metered = measured["metrics_on"]
         speedup = fast["acc_per_sec"] / slow["acc_per_sec"]
-        pre = PRE_PR_BASELINE.get(key)
+        # Pair each round's metered wall with the fast wall measured
+        # seconds earlier in the same round and take the cleanest round:
+        # host noise within a round is far smaller than across rounds,
+        # so this bounds the metering overhead much more tightly than
+        # the ratio of the two (possibly distant) best-of walls.
+        overhead = min(
+            m / f
+            for f, m in zip(
+                fast["wall_seconds"], metered["wall_seconds"]
+            )
+        )
         entry = {
             "fast_on": fast,
             "fast_off": slow,
+            "metrics_on": metered,
             "speedup_vs_fast_off": speedup,
+            "metrics_overhead_x": overhead,
         }
+        pre = PRE_PR_BASELINE.get(key)
         if pre is not None:
             entry["pre_pr"] = pre
             entry["speedup_vs_pre_pr"] = (
@@ -247,11 +294,21 @@ def main(argv: list[str] | None = None) -> int:
             f"({fast['acc_per_sec']:,.0f} acc/s, "
             f"{fast['evictions_per_sec']:,.0f} evict/s), "
             f"scalar {slow['best_wall_seconds']:.3f}s, "
-            f"{speedup:.2f}x"
+            f"{speedup:.2f}x, metrics {overhead:.3f}x"
         )
         if pre is not None:
             line += f", {entry['speedup_vs_pre_pr']:.2f}x vs pre-PR"
         print(line, flush=True)
+        # Within-run overhead gate: a metered trial must stay inside the
+        # same tolerance the baseline gate uses (default 5%).  Both runs
+        # happen back to back on this box, so no baseline is involved.
+        if not args.no_check and overhead > 1.0 + args.tolerance:
+            print(
+                f"{key}: metrics-on overhead {overhead:.3f}x exceeds "
+                f"{1.0 + args.tolerance:.2f}x ... REGRESSION",
+                file=sys.stderr,
+            )
+            metrics_failures += 1
 
     report = {
         "workload": WORKLOAD,
@@ -267,6 +324,13 @@ def main(argv: list[str] | None = None) -> int:
         check_rc = _check_baseline(
             report, baseline_path, args.tolerance, args.check_mode
         )
+        if metrics_failures:
+            print(
+                f"FAIL: metrics-on overhead beyond {args.tolerance:.0%} in "
+                f"{metrics_failures} cell(s).",
+                file=sys.stderr,
+            )
+            check_rc = check_rc or 1
 
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")

@@ -17,6 +17,7 @@ Each figure's rendered table is printed and archived under
 
 from __future__ import annotations
 
+import functools
 import os
 import pathlib
 import warnings
@@ -28,15 +29,25 @@ from repro.core.experiment import ExperimentRunner
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
-def _env_int(name: str, default: int) -> int:
+@functools.lru_cache(maxsize=None)
+def _parse_env_int(name: str, raw: str, default: int) -> int:
+    """Memoized per (name, raw) so a bad value warns once per process,
+    not once per fixture/benchmark that reads it."""
     try:
-        value = int(os.environ.get(name, default))
+        value = int(raw)
     except ValueError:
         return default
     if value < 0:
         warnings.warn(f"{name}={value} is negative; using default {default}")
         return default
     return value
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return _parse_env_int(name, raw, default)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Capacity sweep with live grid telemetry and a Markdown report.
+
+Runs TPC-H under both headline policies across the paper's capacity
+ratios with the metrics registry attached.  While the grid runs, a
+live status line (cells done, accesses/s, fault-latency tails) updates
+on stderr; afterwards the merged registry is rendered as a per-cell
+table, saved as Prometheus text exposition + JSON, and turned into a
+Markdown report.
+
+    python examples/live_metrics.py [--out metrics-out]
+
+Set ``REPRO_JOBS=4`` to run the grid cells in parallel — per-worker
+registries ship back with each trial and merge into the same grid
+aggregate, so the totals match a serial run exactly.
+"""
+
+import argparse
+import pathlib
+
+from repro import ExperimentConfig, ExperimentRunner, MetricsConfig, SystemConfig
+from repro.core.config import PAPER_RATIOS
+from repro.metrics import GridTelemetry
+from repro.metrics.report import load_dump, render_markdown
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("metrics-out"),
+        help="directory for the .prom/.json dumps and report.md",
+    )
+    parser.add_argument("--trials", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    configs = [
+        ExperimentConfig(
+            workload="tpch",
+            system=SystemConfig(
+                policy=policy, swap="ssd", capacity_ratio=ratio
+            ),
+            n_trials=args.trials,
+            base_seed=args.seed,
+            metrics=MetricsConfig(),
+        )
+        for ratio in PAPER_RATIOS
+        for policy in ("clock", "mglru")
+    ]
+
+    telemetry = GridTelemetry()
+    runner = ExperimentRunner(telemetry=telemetry)
+    runner.run_many(configs)
+    telemetry.finish_live()
+
+    print(telemetry.render())
+    paths = telemetry.save(args.out)
+    for kind, path in paths.items():
+        print(f"wrote {kind:<5} {path}")
+
+    report_path = args.out / "report.md"
+    report_path.write_text(
+        render_markdown(
+            load_dump(str(paths["json"])),
+            title="TPC-H capacity sweep — metrics report",
+        )
+    )
+    print(f"wrote report {report_path}")
+    print(
+        "\nFault-latency tails lengthen as the capacity ratio drops:"
+        "\nthe same policy spends more of every trial in major-fault"
+        "\nservice, which is exactly what the per-cell p50/p99 columns"
+        "\nabove quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

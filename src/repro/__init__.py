@@ -26,6 +26,7 @@ from repro.core.config import ExperimentConfig, SystemConfig
 from repro.core.experiment import ExperimentRunner, run_trial
 from repro.core.figures import FIGURES, FigureResult
 from repro.core.results import ExperimentResult, TrialResult
+from repro.metrics import MetricsConfig
 from repro.mm.system import MemorySystem
 from repro.policies import (
     MGLRU_VARIANTS,
@@ -50,6 +51,7 @@ __all__ = [
     "MemorySystem",
     "TraceCapture",
     "TraceConfig",
+    "MetricsConfig",
     "MGLRUParams",
     "make_policy",
     "make_workload",

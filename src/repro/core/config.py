@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.core.calibration import DEFAULT_N_CPUS, calibrated_costs
 from repro.errors import ConfigError
+from repro.metrics.config import MetricsConfig
 from repro.mm.costs import CostModel, SSDCosts, ZRAMCosts
 from repro.policies import POLICY_FACTORIES
 from repro.trace.config import TraceConfig
@@ -71,6 +72,10 @@ class ExperimentConfig:
     #: Per-trial trace capture; ``None`` (the default) means tracing is
     #: off and trials run the zero-overhead untraced path.
     trace: Optional[TraceConfig] = None
+    #: Per-trial metrics registry; ``None`` (the default) means the
+    #: metrics hooks stay detached and trials run the zero-overhead
+    #: unmetered path.
+    metrics: Optional[MetricsConfig] = None
 
     def __post_init__(self) -> None:
         if self.workload not in WORKLOAD_FACTORIES:

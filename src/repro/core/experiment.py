@@ -13,10 +13,13 @@ import os
 import warnings
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import asdict
-from typing import Callable, Dict, Iterable, List, Optional
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.config import ExperimentConfig, SystemConfig
 from repro.core.results import ExperimentResult, TrialResult
+from repro.metrics.config import MetricsConfig
+from repro.metrics.session import MetricsSession
 from repro.mm.system import MemorySystem
 from repro.policies import make_policy
 from repro.sim.engine import Engine
@@ -64,14 +67,18 @@ def run_trial(
     system_config: SystemConfig,
     seed: int,
     trace: Optional[TraceConfig] = None,
+    metrics: Optional[MetricsConfig] = None,
 ) -> TrialResult:
     """One full workload execution on a fresh simulator.
 
     With ``trace`` set (and enabled), a :class:`TraceSession` attaches
     ring-buffer probes to the tracepoints and samples vmstat for the
     trial's duration; the capture comes back on ``TrialResult.trace``.
-    Probes are passive and the sampler only reads, so the traced trial's
-    measurements are bit-identical to the untraced ones.
+    With ``metrics`` set (and enabled), a :class:`MetricsSession`
+    attaches recorders to the metrics hooks and the aggregate registry
+    comes back on ``TrialResult.metrics_registry``.  Probes and
+    recorders are passive, so traced/metered trials are bit-identical
+    to bare ones.
     """
     engine = Engine()
     rng = RngTree(seed)
@@ -84,34 +91,44 @@ def run_trial(
     if trace is not None and trace.enabled:
         session = TraceSession(trace, system)
         session.start()
+    mx_session: Optional[MetricsSession] = None
+    if metrics is not None and metrics.enabled:
+        mx_session = MetricsSession(metrics, system)
+        mx_session.start()
     try:
         workload.setup(system)
         system.start()
         workload.spawn(system)
         runtime_ns = engine.run()
     finally:
-        # Probes are process-global; detach even on error paths so a
-        # failed trial cannot leak probes into the next one.
+        # Probes/recorders are process-global; detach even on error
+        # paths so a failed trial cannot leak them into the next one.
         if session is not None:
             session.detach()
+        if mx_session is not None:
+            mx_session.detach()
 
     stats = system.stats
     stats.rmap_walks = system.rmap.walk_count
+    trial_meta = {
+        "workload": workload_name,
+        "policy": system_config.policy,
+        "swap": system_config.swap,
+        "capacity_ratio": system_config.capacity_ratio,
+        "seed": seed,
+    }
     capture = None
     if session is not None:
         # Finalized after the post-run counter fixups above, so the last
         # vmstat row equals the trial's aggregate counters.
         capture = session.finalize(
             runtime_ns,
-            meta={
-                "workload": workload_name,
-                "policy": system_config.policy,
-                "swap": system_config.swap,
-                "capacity_ratio": system_config.capacity_ratio,
-                "seed": seed,
-                "costs": asdict(system_config.costs),
-            },
+            meta={**trial_meta, "costs": asdict(system_config.costs)},
         )
+    registry = None
+    if mx_session is not None:
+        # Same ordering contract: finalize imports the fixed-up counters.
+        registry = mx_session.finalize(runtime_ns, meta=trial_meta)
     wl_result = workload.result()
     counters = stats.snapshot()
     counters["swap_reads"] = system.swap_device.stats.reads
@@ -132,16 +149,14 @@ def run_trial(
         footprint_pages=footprint,
         capacity_frames=capacity,
         trace=capture,
+        metrics_registry=registry,
     )
 
 
-def _jobs_from_env() -> int:
-    """Parse the ``REPRO_JOBS`` knob (default 1 = serial).
-
-    Values below 1 and non-integers fall back to serial with a warning
-    rather than erroring mid-sweep.
-    """
-    raw = os.environ.get("REPRO_JOBS", "1")
+@lru_cache(maxsize=None)
+def _parse_jobs(raw: str) -> int:
+    """Parse one ``REPRO_JOBS`` value; memoized per distinct raw string
+    so a bad value warns once per process instead of once per runner."""
     try:
         jobs = int(raw)
     except ValueError:
@@ -151,6 +166,16 @@ def _jobs_from_env() -> int:
         warnings.warn(f"REPRO_JOBS={jobs} < 1; running serial")
         return 1
     return jobs
+
+
+def _jobs_from_env() -> int:
+    """Parse the ``REPRO_JOBS`` knob (default 1 = serial).
+
+    Values below 1 and non-integers fall back to serial with a warning
+    rather than erroring mid-sweep; the warning fires once per process
+    per distinct value, not on every runner construction.
+    """
+    return _parse_jobs(os.environ.get("REPRO_JOBS", "1"))
 
 
 class ExperimentRunner:
@@ -168,15 +193,25 @@ class ExperimentRunner:
         self,
         progress: Optional[Callable[[str], None]] = None,
         jobs: Optional[int] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
+        """``telemetry``: a :class:`repro.metrics.GridTelemetry` (or any
+        object with ``observe_trial(label, trial)``) fed every finished
+        trial — the grid-level aggregation end of the worker telemetry
+        channel.  Cache hits are not re-observed."""
         self._cache: Dict[tuple, ExperimentResult] = {}
         self._progress = progress
         self.jobs = _jobs_from_env() if jobs is None else max(1, int(jobs))
         self._pool: Optional[ProcessPoolExecutor] = None
+        self.telemetry = telemetry
 
     def _note(self, message: str) -> None:
         if self._progress is not None:
             self._progress(message)
+
+    def _observe(self, config: ExperimentConfig, trial: TrialResult) -> None:
+        if self.telemetry is not None:
+            self.telemetry.observe_trial(config.label, trial)
 
     @staticmethod
     def _key(config: ExperimentConfig) -> tuple:
@@ -188,6 +223,7 @@ class ExperimentRunner:
             config.n_trials,
             config.base_seed,
             config.trace,
+            config.metrics,
         )
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -234,21 +270,24 @@ class ExperimentRunner:
             futures = [
                 self._ensure_pool().submit(
                     run_trial, config.workload, config.system, seed,
-                    config.trace,
+                    config.trace, config.metrics,
                 )
                 for seed in seeds
             ]
             for i, future in enumerate(futures):
-                trials.append(future.result())
+                trial = future.result()
+                trials.append(trial)
+                self._observe(config, trial)
                 self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
         else:
             for i, seed in enumerate(seeds):
                 self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
-                trials.append(
-                    run_trial(
-                        config.workload, config.system, seed, config.trace
-                    )
+                trial = run_trial(
+                    config.workload, config.system, seed, config.trace,
+                    config.metrics,
                 )
+                trials.append(trial)
+                self._observe(config, trial)
         result = self._assemble(config, trials)
         self._cache[key] = result
         return result
@@ -273,7 +312,7 @@ class ExperimentRunner:
             futures: List[Future] = [
                 self._ensure_pool().submit(
                     run_trial, config.workload, config.system, seed,
-                    config.trace,
+                    config.trace, config.metrics,
                 )
                 for seed in config.seeds()
             ]
@@ -281,7 +320,9 @@ class ExperimentRunner:
         for key, (config, futures) in pending.items():
             trials = []
             for i, future in enumerate(futures):
-                trials.append(future.result())
+                trial = future.result()
+                trials.append(trial)
+                self._observe(config, trial)
                 self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
             self._cache[key] = self._assemble(config, trials)
         return [self._cache[self._key(config)] for config in configs]

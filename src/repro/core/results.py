@@ -10,6 +10,7 @@ import numpy as np
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.metrics.registry import MetricsRegistry
     from repro.trace.session import TraceCapture
 
 
@@ -40,6 +41,11 @@ class TrialResult:
     #: from equality so a traced trial compares equal to its untraced
     #: twin (the bit-identity contract the equivalence suite asserts).
     trace: Optional["TraceCapture"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Metrics registry when the trial ran with metering enabled.
+    #: Excluded from equality for the same bit-identity reason.
+    metrics_registry: Optional["MetricsRegistry"] = field(
         default=None, compare=False, repr=False
     )
 

@@ -1,0 +1,177 @@
+"""``python -m repro.metrics`` — run, report, and compare metrics.
+
+Run a small metered grid with the live telemetry view and dump the
+merged registry (``grid.prom`` + ``grid.json``) plus a Markdown
+report::
+
+    PYTHONPATH=src REPRO_JOBS=2 python -m repro.metrics run \\
+        --workload pagerank --policies clock,mglru --swap ssd \\
+        --ratio 0.5 --trials 2 --out metrics-out
+
+Render a report from an existing dump::
+
+    PYTHONPATH=src python -m repro.metrics report metrics-out/grid.json \\
+        --format md --out metrics-out/report.md
+
+Diff two dumps (or two ``BENCH_*.json`` baselines) with a regression
+threshold — exit code 1 means a gated quantity regressed::
+
+    PYTHONPATH=src python -m repro.metrics compare old.json new.json \\
+        --threshold 0.10
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.metrics.compare import (
+    DEFAULT_THRESHOLD,
+    compare_files,
+    render_result,
+)
+from repro.metrics.config import MetricsConfig
+from repro.metrics.registry import parse_prom_text
+from repro.metrics.report import load_dump, render_html, render_markdown
+from repro.metrics.telemetry import GridTelemetry
+from repro.policies import POLICY_FACTORIES
+from repro.workloads import WORKLOAD_FACTORIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics",
+        description="Run, report, and compare simulator metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a metered grid with live view")
+    run.add_argument(
+        "--workload",
+        default="pagerank",
+        choices=sorted(WORKLOAD_FACTORIES),
+    )
+    run.add_argument(
+        "--policies",
+        default="clock,mglru",
+        help="comma-separated policy names",
+    )
+    run.add_argument("--swap", default="ssd", choices=("ssd", "zram"))
+    run.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="memory capacity as a fraction of the workload footprint",
+    )
+    run.add_argument("--trials", type=int, default=2)
+    run.add_argument("--seed", type=int, default=10_000)
+    run.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("metrics-out"),
+        help="output directory for grid.prom / grid.json / report.md",
+    )
+
+    rep = sub.add_parser("report", help="render a dumped registry")
+    rep.add_argument("dump", type=pathlib.Path, help="grid.json path")
+    rep.add_argument("--format", choices=("md", "html"), default="md")
+    rep.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="output file (default: stdout)",
+    )
+    rep.add_argument("--title", default="Metrics report")
+
+    cmp_ = sub.add_parser("compare", help="diff two dumps / baselines")
+    cmp_.add_argument("old", type=pathlib.Path)
+    cmp_.add_argument("new", type=pathlib.Path)
+    cmp_.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional regression threshold (default 0.10)",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Imported here: pulls in the whole experiment stack, which report/
+    # compare invocations don't need.
+    from repro.core.experiment import ExperimentRunner
+
+    policies = [p for p in args.policies.split(",") if p]
+    unknown = [p for p in policies if p not in POLICY_FACTORIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    configs = [
+        ExperimentConfig(
+            workload=args.workload,
+            system=SystemConfig(
+                policy=policy, swap=args.swap, capacity_ratio=args.ratio
+            ),
+            n_trials=args.trials,
+            base_seed=args.seed,
+            metrics=MetricsConfig(),
+        )
+        for policy in policies
+    ]
+    telemetry = GridTelemetry()
+    runner = ExperimentRunner(telemetry=telemetry)
+    try:
+        runner.run_many(configs)
+    finally:
+        runner.close()
+    telemetry.finish_live()
+    print(telemetry.render())
+    paths = telemetry.save(str(args.out))
+    report_path = args.out / "report.md"
+    with open(report_path, "w") as fh:
+        fh.write(render_markdown(load_dump(paths["json"])))
+    paths["report"] = str(report_path)
+    for kind, path in paths.items():
+        print(f"wrote {kind:<8} {path}")
+    # Self-validate the exposition output (the CI smoke assertion).
+    with open(paths["prom"]) as fh:
+        n_samples = len(parse_prom_text(fh.read()))
+    print(f"exposition OK ({n_samples} samples)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dump = load_dump(str(args.dump))
+    if args.format == "html":
+        text = render_html(dump, title=args.title)
+    else:
+        text = render_markdown(dump, title=args.title)
+    if args.out is None:
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    result = compare_files(
+        str(args.old), str(args.new), threshold=args.threshold
+    )
+    print(render_result(result))
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Regression comparison of metrics dumps and bench baselines.
+
+``compare_files`` diffs two artifacts of the same kind:
+
+- **metrics dumps** (``repro.metrics.grid/v1`` or ``repro.metrics/v1``
+  JSON): every nanosecond-unit histogram's p50/p99 in the merged
+  registry is gated — a tail that *grew* by more than the threshold is
+  a regression.  Counter totals are reported for context but do not
+  gate (absolute event counts shift legitimately with configs).
+- **bench baselines** (``BENCH_*.json``): every throughput sample
+  (``acc_per_sec`` / ``accesses_per_sec`` under any mode key) is gated
+  — a throughput that *dropped* by more than the threshold is a
+  regression.
+
+Identical inputs always produce zero regressions, which is the CI
+self-check (``compare`` against the artifact it just produced must
+exit 0).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.metrics.registry import FORMAT, MetricsRegistry
+from repro.metrics.telemetry import GRID_FORMAT
+
+#: Default regression threshold (fractional change).
+DEFAULT_THRESHOLD = 0.10
+
+_THROUGHPUT_KEYS = ("acc_per_sec", "accesses_per_sec")
+
+
+@dataclass
+class Delta:
+    """One compared quantity."""
+
+    name: str
+    old: float
+    new: float
+    #: Fractional change, sign-normalized so positive = worse
+    #: (latency up, throughput down).
+    change: float
+    regressed: bool
+    gated: bool
+
+
+@dataclass
+class CompareResult:
+    """All deltas plus the verdict."""
+
+    kind: str  # "metrics" | "bench"
+    threshold: float
+    deltas: List[Delta]
+
+    @property
+    def regressions(self) -> List[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _load_json(path: str) -> Any:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _merged_registry(data: Dict[str, Any], path: str) -> MetricsRegistry:
+    fmt = data.get("format")
+    if fmt == GRID_FORMAT:
+        return MetricsRegistry.from_dict(data["merged"])
+    if fmt == FORMAT:
+        return MetricsRegistry.from_dict(data)
+    raise ConfigError(f"{path}: unknown metrics format {fmt!r}")
+
+
+def _worse_frac(old: float, new: float) -> float:
+    """Fractional worsening: (new-old)/old for values where bigger is
+    worse.  0 when old == 0 (nothing to normalize against)."""
+    if old <= 0:
+        return 0.0
+    return (new - old) / old
+
+
+def _compare_metrics(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    old_path: str,
+    new_path: str,
+    threshold: float,
+) -> CompareResult:
+    old_reg = _merged_registry(old, old_path)
+    new_reg = _merged_registry(new, new_path)
+    deltas: List[Delta] = []
+    for family in old_reg.families():
+        theirs = new_reg.get(family.name)
+        if theirs is None:
+            continue
+        if family.kind == "histogram":
+            gate = family.unit == "nanoseconds" or family.name.endswith(
+                "_ns"
+            )
+            mine_agg = family.aggregate()
+            theirs_agg = theirs.aggregate()
+            for pct in (50, 99):
+                o = mine_agg.percentile(pct)
+                n = theirs_agg.percentile(pct)
+                change = _worse_frac(o, n)
+                deltas.append(
+                    Delta(
+                        name=f"{family.name} p{pct}",
+                        old=o,
+                        new=n,
+                        change=change,
+                        regressed=gate and change > threshold,
+                        gated=gate,
+                    )
+                )
+        elif family.kind == "counter":
+            o = float(family.aggregate().value)
+            n = float(theirs.aggregate().value)
+            deltas.append(
+                Delta(
+                    name=family.name,
+                    old=o,
+                    new=n,
+                    change=_worse_frac(o, n),
+                    regressed=False,
+                    gated=False,
+                )
+            )
+    return CompareResult(kind="metrics", threshold=threshold, deltas=deltas)
+
+
+def _bench_throughputs(data: Any, prefix: str = "") -> Dict[str, float]:
+    """Recursively collect every throughput sample as dotted-path →
+    value (e.g. ``cells.clock/ssd.fast_on.acc_per_sec``)."""
+    out: Dict[str, float] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if key in _THROUGHPUT_KEYS and isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                out.update(_bench_throughputs(value, path))
+    return out
+
+
+def _compare_bench(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float,
+) -> CompareResult:
+    old_tp = _bench_throughputs(old)
+    new_tp = _bench_throughputs(new)
+    deltas: List[Delta] = []
+    for path in sorted(old_tp):
+        if path not in new_tp:
+            continue
+        o, n = old_tp[path], new_tp[path]
+        # Throughput: a *drop* is a worsening.
+        change = _worse_frac(o, 2 * o - n) if o > 0 else 0.0
+        deltas.append(
+            Delta(
+                name=path,
+                old=o,
+                new=n,
+                change=change,
+                regressed=change > threshold,
+                gated=True,
+            )
+        )
+    return CompareResult(kind="bench", threshold=threshold, deltas=deltas)
+
+
+def compare_files(
+    old_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> CompareResult:
+    """Compare two artifacts (both metrics dumps or both bench JSONs)."""
+    if threshold < 0:
+        raise ConfigError(f"threshold {threshold} must be >= 0")
+    old = _load_json(old_path)
+    new = _load_json(new_path)
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        raise ConfigError("comparison inputs must be JSON objects")
+    old_is_metrics = old.get("format") in (FORMAT, GRID_FORMAT)
+    new_is_metrics = new.get("format") in (FORMAT, GRID_FORMAT)
+    if old_is_metrics != new_is_metrics:
+        raise ConfigError(
+            "cannot compare a metrics dump against a bench baseline"
+        )
+    if old_is_metrics:
+        return _compare_metrics(old, new, old_path, new_path, threshold)
+    return _compare_bench(old, new, threshold)
+
+
+def render_result(result: CompareResult) -> str:
+    """Human-readable comparison table with the verdict line."""
+    from repro.core.report import render_table
+
+    rows: List[Tuple] = []
+    for d in result.deltas:
+        flag = "REGRESSED" if d.regressed else ("" if d.gated else "info")
+        rows.append(
+            (d.name, f"{d.old:,.1f}", f"{d.new:,.1f}",
+             f"{d.change * 100:+.1f}%", flag)
+        )
+    table = render_table(
+        ["quantity", "old", "new", "worse-by", "status"],
+        rows,
+        title=f"{result.kind} comparison "
+        f"(threshold {result.threshold * 100:.0f}%)",
+    )
+    verdict = (
+        "OK: no regressions"
+        if result.ok
+        else f"FAIL: {len(result.regressions)} regression(s)"
+    )
+    return f"{table}\n{verdict}"

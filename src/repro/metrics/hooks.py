@@ -1,0 +1,125 @@
+"""Metrics hook points: named recorders, near-zero cost disabled.
+
+The metrics plane instruments the same hot paths the tracepoints do,
+with the same kernel idiom: every hook is a module-level name that is
+``None`` while no recorder is attached, so an instrumented call site
+pays exactly one module-attribute load plus an ``is not None`` test::
+
+    from repro.metrics import hooks as _mx
+    ...
+    if _mx.fault_service is not None:
+        _mx.fault_service(latency_ns, major)
+
+Hooks differ from tracepoints in *shape*, not machinery: a tracepoint
+records an event (who, when); a hook feeds an aggregate (a counter
+bump, a histogram observation), so its payload is whatever the
+aggregate needs — including sequences for vectorized observations
+(:data:`rmap_walk_block`, :data:`swap_io_batch`).
+
+Recorders must be *passive*: they may accumulate into registry objects
+but must not mutate simulator state, draw random numbers, or raise —
+the contract that keeps metered trials bit-identical to unmetered ones
+(pinned by ``tests/metrics/test_session.py``).
+
+Recorders are process-global, like tracepoint probes: one trial meters
+at a time per process, which is exactly the shape of the
+``REPRO_JOBS`` worker pool.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Every hook, with the meaning of its payload.
+HOOKS: Dict[str, Tuple[str, ...]] = {
+    # -- fault path ----------------------------------------------------
+    "fault_service": ("latency_ns", "major"),
+    # -- reclaim -------------------------------------------------------
+    "rmap_walk_block": ("costs_ns_sequence",),
+    "reclaim_scan": ("n_scanned", "n_young"),
+    "evict_block": ("n_pages",),
+    # -- swap ----------------------------------------------------------
+    "swap_io": ("latency_ns", "is_write"),
+    "swap_io_batch": ("latencies_ns_sequence", "is_write"),
+    # -- MG-LRU --------------------------------------------------------
+    "mglru_gen_created": ("seq",),
+    "mglru_gen_retired": ("seq",),
+    # -- engine / threads ----------------------------------------------
+    "engine_events": ("n_imm", "n_heap"),
+    "thread_done": ("compute_requested_ns",),
+}
+
+Recorder = Callable[..., None]
+
+#: Attached recorders per hook, in attach order.
+_recorders: Dict[str, List[Recorder]] = {name: [] for name in HOOKS}
+
+# Module-level hook slots — one per hook, None while disabled.
+# (Assigned dynamically below so the table above stays the single
+# source of truth; static readers: the names are exactly HOOKS' keys.)
+for _name in HOOKS:
+    globals()[_name] = None
+del _name
+
+
+class _Multicast:
+    """Fan one hook call out to several recorders, in attach order."""
+
+    __slots__ = ("recorders",)
+
+    def __init__(self, recorders: List[Recorder]) -> None:
+        self.recorders = recorders
+
+    def __call__(self, *args) -> None:
+        for recorder in self.recorders:
+            recorder(*args)
+
+
+def _check_name(name: str) -> None:
+    if name not in HOOKS:
+        raise ConfigError(
+            f"unknown metrics hook {name!r}; known: {', '.join(HOOKS)}"
+        )
+
+
+def _refresh(name: str) -> None:
+    """Recompute the module-level slot for *name* from its recorders."""
+    recorders = _recorders[name]
+    if not recorders:
+        slot: Optional[Recorder] = None
+    elif len(recorders) == 1:
+        slot = recorders[0]
+    else:
+        slot = _Multicast(list(recorders))
+    globals()[name] = slot
+
+
+def attach(name: str, recorder: Recorder) -> None:
+    """Attach *recorder* to hook *name* (enables the hook point)."""
+    _check_name(name)
+    _recorders[name].append(recorder)
+    _refresh(name)
+
+
+def detach(name: str, recorder: Recorder) -> None:
+    """Detach one previously attached recorder (no-op if not attached)."""
+    _check_name(name)
+    try:
+        _recorders[name].remove(recorder)
+    except ValueError:
+        return
+    _refresh(name)
+
+
+def detach_all() -> None:
+    """Detach every recorder from every hook (test/trial teardown)."""
+    for name in HOOKS:
+        _recorders[name].clear()
+        globals()[name] = None
+
+
+def active() -> Tuple[str, ...]:
+    """Names of hooks that currently have at least one recorder."""
+    return tuple(name for name in HOOKS if _recorders[name])

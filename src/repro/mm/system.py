@@ -42,6 +42,7 @@ from repro.sim.cpu import CPU
 from repro.sim.engine import Engine
 from repro.sim.events import Compute, OneShotEvent, Sleep, WaitEvent, Waker, WaitWaker
 from repro.sim.rng import RngTree
+from repro.metrics import hooks as _mx
 from repro.swapdev.base import SwapDevice
 from repro.trace import tracepoints as _tp
 
@@ -389,6 +390,8 @@ class MemorySystem:
                     )
             elif _tp.mm_fault_minor is not None:
                 _tp.mm_fault_minor(page.vpn, engine._now - t0, int(write))
+            if _mx.fault_service is not None:
+                _mx.fault_service(engine._now - t0, major)
         finally:
             done = self._inflight_faults.pop(page)
             if done is not None:
@@ -505,6 +508,8 @@ class MemorySystem:
         """
         tp_evict = _tp.mm_vmscan_evict
         t0 = self.engine.now if tp_evict is not None else 0
+        if _mx.evict_block is not None:
+            _mx.evict_block(len(pages))
         yield Compute(self.costs.reclaim_page_ns * len(pages))
         evicted = 0
         aborted = []

@@ -25,6 +25,7 @@ from typing import Any, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
+from repro.metrics import hooks as _mx
 from repro.mm.swap_cache import ShadowEntry
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -117,8 +118,16 @@ class ReplacementPolicy(abc.ABC):
         system = self.system
         assert system is not None
         if system.fast_reclaim:
-            return int(system.rmap.walk_costs_ns(n).sum())
+            costs = system.rmap.walk_costs_ns(n)
+            if _mx.rmap_walk_block is not None:
+                _mx.rmap_walk_block(costs)
+            return int(costs.sum())
         walk = system.rmap.walk_cost_ns
+        if _mx.rmap_walk_block is not None:
+            # Same RNG draws in the same order as the bare sum below.
+            scalar_costs = [walk() for _ in range(n)]
+            _mx.rmap_walk_block(scalar_costs)
+            return sum(scalar_costs)
         return sum(walk() for _ in range(n))
 
     def _snapshot_accessed(self, block: Sequence["Page"]) -> List[bool]:

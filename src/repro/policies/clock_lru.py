@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
+from repro.metrics import hooks as _mx
 from repro.mm.intrusive_list import IntrusiveList
 from repro.mm.page import Page
 from repro.mm.swap_cache import ShadowEntry
@@ -117,6 +118,8 @@ class ClockLRUPolicy(ReplacementPolicy):
             # accessed-bit snapshot instead of a walk per page.
             yield Compute(self._walk_block_ns(len(block)))
             flags = self._snapshot_accessed(block)
+            if _mx.reclaim_scan is not None:
+                _mx.reclaim_scan(len(block), sum(flags))
             cold = []
             for page, young in zip(block, flags):
                 if tp_scan is not None:
@@ -171,6 +174,8 @@ class ClockLRUPolicy(ReplacementPolicy):
             return
         yield Compute(self._walk_block_ns(len(block)))
         flags = self._snapshot_accessed(block)
+        if _mx.reclaim_scan is not None:
+            _mx.reclaim_scan(len(block), sum(flags))
         tp_scan = _tp.mm_vmscan_scan
         for page, young in zip(block, flags):
             if tp_scan is not None:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
+from repro.metrics import hooks as _mx
 from repro.mm.page import Page, PageKind
 from repro.mm.swap_cache import ShadowEntry
 from repro.policies.base import ReplacementPolicy
@@ -375,6 +376,8 @@ class MGLRUPolicy(ReplacementPolicy):
             # accessed-bit snapshot instead of a walk per candidate.
             yield Compute(self._walk_block_ns(len(block)))
             flags = self._snapshot_accessed(block)
+            if _mx.reclaim_scan is not None:
+                _mx.reclaim_scan(len(block), sum(flags))
             cold = []
             hot_regions = []
             for page, young in zip(block, flags):

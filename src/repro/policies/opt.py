@@ -43,6 +43,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.metrics import hooks as _mx
 from repro.mm.page import Page
 from repro.mm.swap_cache import ShadowEntry
 from repro.policies.base import ReplacementPolicy
@@ -271,6 +272,8 @@ class OPTPolicy(ReplacementPolicy):
             # accessed-bit snapshot instead of a walk per page.
             yield Compute(self._walk_block_ns(len(block)))
             flags = self._snapshot_accessed(block)
+            if _mx.reclaim_scan is not None:
+                _mx.reclaim_scan(len(block), sum(flags))
             cold = []
             for page, young in zip(block, flags):
                 if tp_scan is not None:

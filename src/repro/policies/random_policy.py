@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional
 
+from repro.metrics import hooks as _mx
 from repro.mm.page import Page
 from repro.mm.swap_cache import ShadowEntry
 from repro.policies.base import ReplacementPolicy
@@ -80,6 +81,9 @@ class RandomPolicy(ReplacementPolicy):
             if not block:
                 break
             attempts += len(block)
+            if _mx.reclaim_scan is not None:
+                # Random victims are never access-checked before I/O.
+                _mx.reclaim_scan(len(block), 0)
             n_ok, aborted = yield from system.evict_pages(block)
             reclaimed += n_ok
             for page in aborted:

@@ -17,6 +17,7 @@ from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from repro.metrics import hooks as _mx
 from repro.mm.costs import SSDCosts
 from repro.mm.page import Page
 from repro.sim.engine import Engine
@@ -126,6 +127,8 @@ class SSDSwapDevice(SwapDevice):
         self.stats.read_wait_ns += waited
         if _tp.swap_io_done is not None:
             _tp.swap_io_done(page.vpn, waited, 0)
+        if _mx.swap_io is not None:
+            _mx.swap_io(waited, 0)
 
     def write(self, page: Page) -> Iterator[Any]:
         """Swap-out: one queued 4 KiB write, one ``Sleep`` event."""
@@ -140,6 +143,8 @@ class SSDSwapDevice(SwapDevice):
         self.stats.write_wait_ns += waited
         if _tp.swap_io_done is not None:
             _tp.swap_io_done(page.vpn, waited, 1)
+        if _mx.swap_io is not None:
+            _mx.swap_io(waited, 1)
 
     def write_batch(
         self, pages: Sequence[Page], fast: bool = True
@@ -191,6 +196,8 @@ class SSDSwapDevice(SwapDevice):
         if tp is not None:
             for page, waited in zip(pages, waits):
                 tp(page.vpn, waited, 1)
+        if _mx.swap_io_batch is not None:
+            _mx.swap_io_batch(waits, 1)
 
     @property
     def queue_length(self) -> int:

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro._units import PAGE_SIZE
 from repro.errors import SwapFullError
+from repro.metrics import hooks as _mx
 from repro.mm.costs import ZRAMCosts
 from repro.mm.page import Page
 from repro.sim.events import Compute
@@ -72,6 +73,8 @@ class ZRAMSwapDevice(SwapDevice):
             # ZRAM service is CPU work: the traced latency is the nominal
             # (undilated) compute cost, not wall time under contention.
             _tp.swap_io_done(page.vpn, lat, 0)
+        if _mx.swap_io is not None:
+            _mx.swap_io(lat, 0)
 
     def write(self, page: Page) -> Iterator[Any]:
         """Swap-out: compress on the reclaiming CPU and store."""
@@ -93,6 +96,8 @@ class ZRAMSwapDevice(SwapDevice):
         self.stats.writes += 1
         if _tp.swap_io_done is not None:
             _tp.swap_io_done(page.vpn, lat, 1)
+        if _mx.swap_io is not None:
+            _mx.swap_io(lat, 1)
 
     def write_batch(
         self, pages: Sequence[Page], fast: bool = True
@@ -137,6 +142,8 @@ class ZRAMSwapDevice(SwapDevice):
             self.stats.writes += 1
             if tp is not None:
                 tp(page.vpn, lat, 1)
+        if _mx.swap_io_batch is not None:
+            _mx.swap_io_batch(lats, 1)
 
     def discard(self, page: Page) -> None:
         """Free the stored copy when the system drops a stale slot."""

@@ -32,6 +32,7 @@ from repro.trace.config import TraceConfig
 from repro.trace.export import (
     chrome_trace,
     load_capture,
+    load_capture_registry,
     save_capture,
     validate_chrome_trace,
     write_capture,
@@ -59,6 +60,7 @@ __all__ = [
     "detach",
     "detach_all",
     "load_capture",
+    "load_capture_registry",
     "refault_distance_histogram",
     "save_capture",
     "summarize",

@@ -89,6 +89,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip Chrome-trace schema validation of the exported JSON",
     )
+    cap.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also meter the trial and embed the metrics registry "
+        "snapshot in the .npz capture",
+    )
 
     ana = sub.add_parser("analyze", help="summarize a saved capture")
     ana.add_argument("capture", type=pathlib.Path, help="path to trace.npz")
@@ -110,12 +116,23 @@ def _cmd_capture(args: argparse.Namespace) -> int:
         f"seed={args.seed} ...",
         flush=True,
     )
+    metrics_config = None
+    if args.metrics:
+        from repro.metrics import MetricsConfig
+
+        metrics_config = MetricsConfig()
     result = run_trial(
-        args.workload, system_config, args.seed, trace=trace_config
+        args.workload,
+        system_config,
+        args.seed,
+        trace=trace_config,
+        metrics=metrics_config,
     )
     capture = result.trace
     assert capture is not None
-    paths = write_capture(capture, args.out)
+    paths = write_capture(
+        capture, args.out, registry=result.metrics_registry
+    )
     print(summarize(capture))
     print()
     for kind, path in paths.items():

@@ -363,8 +363,18 @@ def write_vmstat_csv(capture: TraceCapture, path: pathlib.Path) -> None:
             )
 
 
-def save_capture(capture: TraceCapture, path: pathlib.Path) -> None:
-    """Persist raw capture arrays to ``.npz`` for offline analysis."""
+def save_capture(
+    capture: TraceCapture,
+    path: pathlib.Path,
+    registry: Any = None,
+) -> None:
+    """Persist raw capture arrays to ``.npz`` for offline analysis.
+
+    When *registry* (a :class:`repro.metrics.MetricsRegistry`) is given,
+    its snapshot is embedded under the ``metrics`` key so one artifact
+    carries both the event stream and the aggregate registry; reload it
+    with :func:`load_capture_registry`.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     series = capture.vmstat
@@ -394,6 +404,8 @@ def save_capture(capture: TraceCapture, path: pathlib.Path) -> None:
     }
     for name, col in series.columns.items():
         payload[f"vm_{name}"] = col
+    if registry is not None:
+        payload["metrics"] = np.array([json.dumps(registry.to_dict())])
     np.savez_compressed(path, **payload)
 
 
@@ -427,12 +439,37 @@ def load_capture(path: pathlib.Path) -> TraceCapture:
         )
 
 
+def load_capture_registry(path: pathlib.Path):
+    """Reload the metrics registry embedded by :func:`save_capture`.
+
+    Returns a :class:`repro.metrics.MetricsRegistry`, or ``None`` when
+    the capture was written without one.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if "header" not in data.files:
+            raise ConfigError(f"{path} is not a repro trace capture")
+        if "metrics" not in data.files:
+            return None
+        snapshot = json.loads(str(data["metrics"][0]))
+    # Function-level import: repro.trace is imported by repro.metrics'
+    # session layer, so the reverse edge must stay lazy.
+    from repro.metrics import MetricsRegistry
+
+    return MetricsRegistry.from_dict(snapshot)
+
+
 def write_capture(
     capture: TraceCapture,
     out_dir: pathlib.Path,
     prefix: str = "trace",
+    registry: Any = None,
 ) -> Dict[str, pathlib.Path]:
-    """Write the full bundle for one trial; returns name → path."""
+    """Write the full bundle for one trial; returns name → path.
+
+    *registry* is forwarded to :func:`save_capture` so the ``.npz``
+    carries the trial's metrics snapshot alongside the event stream.
+    """
     out_dir = pathlib.Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = {
@@ -444,5 +481,5 @@ def write_capture(
     write_chrome_trace(capture, paths["chrome"])
     write_events_csv(capture, paths["events_csv"])
     write_vmstat_csv(capture, paths["vmstat_csv"])
-    save_capture(capture, paths["capture"])
+    save_capture(capture, paths["capture"], registry=registry)
     return paths

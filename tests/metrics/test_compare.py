@@ -1,0 +1,122 @@
+"""Regression comparison: metrics dumps and BENCH json files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import MetricsRegistry
+from repro.metrics.compare import compare_files, render_result
+from repro.metrics.registry import N_BUCKETS
+
+
+def _registry_with_latency(shift: int = 0) -> MetricsRegistry:
+    """A registry whose fault histogram sits `shift` buckets up."""
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "repro_fault_service_ns",
+        help="fault service time",
+        unit="nanoseconds",
+        labelnames=("kind",),
+    ).labels(kind="major")
+    for k in (10, 11, 12, 13):
+        for _ in range(100):
+            h.observe(1 << (k + shift))
+    c = reg.counter("repro_mm_major_faults_total")
+    c.inc(400)
+    return reg
+
+
+def _write(tmp_path, name, registry):
+    path = tmp_path / name
+    path.write_text(json.dumps(registry.to_dict()))
+    return str(path)
+
+
+def test_identical_dumps_pass(tmp_path):
+    old = _write(tmp_path, "old.json", _registry_with_latency())
+    new = _write(tmp_path, "new.json", _registry_with_latency())
+    result = compare_files(old, new)
+    assert result.ok
+    assert "OK" in render_result(result)
+
+
+def test_latency_regression_flagged(tmp_path):
+    old = _write(tmp_path, "old.json", _registry_with_latency(0))
+    # One bucket up = 2x latency, far beyond the 10% default threshold.
+    new = _write(tmp_path, "new.json", _registry_with_latency(1))
+    result = compare_files(old, new)
+    assert not result.ok
+    names = {d.name for d in result.regressions}
+    assert any("p50" in n for n in names)
+    assert any("p99" in n for n in names)
+    assert "FAIL" in render_result(result)
+
+
+def test_latency_improvement_passes(tmp_path):
+    old = _write(tmp_path, "old.json", _registry_with_latency(1))
+    new = _write(tmp_path, "new.json", _registry_with_latency(0))
+    assert compare_files(old, new).ok
+
+
+def test_threshold_is_respected(tmp_path):
+    old = _write(tmp_path, "old.json", _registry_with_latency(0))
+    new = _write(tmp_path, "new.json", _registry_with_latency(1))
+    # A 2x shift passes under a 150% threshold.
+    assert compare_files(old, new, threshold=1.5).ok
+    with pytest.raises(ConfigError):
+        compare_files(old, new, threshold=-0.1)
+
+
+def test_counters_are_not_gated(tmp_path):
+    a = _registry_with_latency()
+    b = _registry_with_latency()
+    b.get("repro_mm_major_faults_total").inc(10_000)
+    old = _write(tmp_path, "old.json", a)
+    new = _write(tmp_path, "new.json", b)
+    assert compare_files(old, new).ok
+
+
+def _bench(tmp_path, name, acc):
+    data = {
+        "workload": "pagerank",
+        "cells": {
+            "mglru/ssd@50%": {"fast_on": {"acc_per_sec": acc}},
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def test_bench_throughput_drop_flagged(tmp_path):
+    old = _bench(tmp_path, "old.json", 1000.0)
+    new = _bench(tmp_path, "new.json", 850.0)  # 15% drop
+    result = compare_files(old, new)
+    assert not result.ok
+    assert result.kind == "bench"
+
+
+def test_bench_identical_passes(tmp_path):
+    old = _bench(tmp_path, "old.json", 1000.0)
+    new = _bench(tmp_path, "new.json", 1000.0)
+    assert compare_files(old, new).ok
+
+
+def test_mixed_formats_rejected(tmp_path):
+    metrics = _write(tmp_path, "m.json", _registry_with_latency())
+    bench = _bench(tmp_path, "b.json", 1000.0)
+    with pytest.raises(ConfigError):
+        compare_files(metrics, bench)
+
+
+def test_histogram_bucket_shape_guard():
+    reg = _registry_with_latency()
+    data = reg.to_dict()
+    fam = next(
+        m for m in data["metrics"] if m["name"] == "repro_fault_service_ns"
+    )
+    for series in fam["series"]:
+        assert len(series["value"]["buckets"]) == N_BUCKETS

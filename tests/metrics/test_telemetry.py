@@ -1,0 +1,74 @@
+"""GridTelemetry: worker→aggregator channel, parallel == serial."""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.experiment import ExperimentRunner
+from repro.metrics import GridTelemetry, MetricsConfig, parse_prom_text
+from repro.metrics.report import load_dump
+
+
+def _grid_configs(tiny_workload):
+    return [
+        ExperimentConfig(
+            workload=tiny_workload,
+            system=SystemConfig(
+                policy=policy, swap="zram", capacity_ratio=0.9
+            ),
+            n_trials=2,
+            base_seed=100,
+            metrics=MetricsConfig(),
+        )
+        for policy in ("clock", "fifo")
+    ]
+
+
+def _run_grid(tiny_workload, jobs, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", str(jobs))
+    telemetry = GridTelemetry(stream=io.StringIO(), live=False)
+    runner = ExperimentRunner(telemetry=telemetry)
+    runner.run_many(_grid_configs(tiny_workload))
+    return telemetry
+
+
+def test_parallel_merge_equals_serial(tiny_workload, monkeypatch):
+    serial = _run_grid(tiny_workload, 1, monkeypatch)
+    parallel = _run_grid(tiny_workload, 4, monkeypatch)
+    assert (
+        parallel.merged.counter_totals() == serial.merged.counter_totals()
+    )
+    s_cells = serial.to_dict()["cells"]
+    p_cells = parallel.to_dict()["cells"]
+    assert set(s_cells) == set(p_cells)
+    for label in s_cells:
+        assert p_cells[label]["trials"] == s_cells[label]["trials"]
+        assert p_cells[label]["accesses"] == s_cells[label]["accesses"]
+
+
+def test_save_and_reload(tiny_workload, monkeypatch, tmp_path):
+    telemetry = _run_grid(tiny_workload, 2, monkeypatch)
+    paths = {k: pathlib.Path(v) for k, v in telemetry.save(tmp_path).items()}
+    samples = parse_prom_text(paths["prom"].read_text())
+    assert samples
+    data = json.loads(paths["json"].read_text())
+    assert data["format"] == "repro.metrics.grid/v1"
+    dump = load_dump(str(paths["json"]))
+    assert len(dump.cells) == 2
+    assert telemetry.render()  # table renders without error
+
+
+def test_cache_hits_not_reobserved(tiny_workload, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    telemetry = GridTelemetry(stream=io.StringIO(), live=False)
+    runner = ExperimentRunner(telemetry=telemetry)
+    configs = _grid_configs(tiny_workload)[:1]
+    runner.run_many(configs)
+    first = telemetry.merged.counter_totals()["repro_trials_total"]
+    runner.run_many(configs)  # cache hit: same configs, same runner
+    assert (
+        telemetry.merged.counter_totals()["repro_trials_total"] == first
+    )
