@@ -18,6 +18,11 @@ from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.core.config import ExperimentConfig, SystemConfig
 from repro.core.results import ExperimentResult, TrialResult
+from repro.core.seedmajor import (
+    chunk_seeds,
+    fast_seeds_enabled,
+    run_cell_trials,
+)
 from repro.metrics.config import MetricsConfig
 from repro.metrics.session import MetricsSession
 from repro.mm.system import MemorySystem
@@ -68,6 +73,9 @@ def run_trial(
     seed: int,
     trace: Optional[TraceConfig] = None,
     metrics: Optional[MetricsConfig] = None,
+    *,
+    _seed_cell: Optional[Any] = None,
+    _seed_row: int = 0,
 ) -> TrialResult:
     """One full workload execution on a fresh simulator.
 
@@ -79,14 +87,26 @@ def run_trial(
     comes back on ``TrialResult.metrics_registry``.  Probes and
     recorders are passive, so traced/metered trials are bit-identical
     to bare ones.
+
+    ``_seed_cell``/``_seed_row`` are the seed-major fast lane's private
+    context (see :mod:`repro.core.seedmajor`): this trial is row
+    *_seed_row* of the cell, its workload reads the pre-stacked trace
+    rows and its PTE bits live in the cell's stacked arrays.  Results
+    are bit-identical with or without a cell bound.
     """
     engine = Engine()
     rng = RngTree(seed)
     workload = make_workload(workload_name)
+    if _seed_cell is not None:
+        workload.bind_seed_major(_seed_cell, _seed_row)
     dataset_rng = RngTree(DATASET_SEED).subtree("dataset", workload_name)
     footprint = workload.prepare(dataset_rng)
     capacity = max(64, int(footprint * system_config.capacity_ratio))
     system = build_system(engine, rng, system_config, capacity)
+    if _seed_cell is not None:
+        system.address_space.page_table.use_stacked_row(
+            _seed_cell.bits(), _seed_row
+        )
     session: Optional[TraceSession] = None
     if trace is not None and trace.enabled:
         session = TraceSession(trace, system)
@@ -97,6 +117,8 @@ def run_trial(
         mx_session.start()
     try:
         workload.setup(system)
+        if _seed_cell is not None:
+            _seed_cell.verify_layout(system.address_space, _seed_row)
         system.start()
         workload.spawn(system)
         runtime_ns = engine.run()
@@ -204,6 +226,10 @@ class ExperimentRunner:
         self.jobs = _jobs_from_env() if jobs is None else max(1, int(jobs))
         self._pool: Optional[ProcessPoolExecutor] = None
         self.telemetry = telemetry
+        #: Shared-memory dataset server (parent side); created lazily on
+        #: the first parallel fast-lane dispatch, torn down by close().
+        self._shm_server: Optional[Any] = None
+        self._shm_prepared: set = set()
 
     def _note(self, message: str) -> None:
         if self._progress is not None:
@@ -232,16 +258,61 @@ class ExperimentRunner:
         return self._pool
 
     def close(self) -> None:
-        """Shut the worker pool down (safe to call when serial/unused)."""
+        """Release workers and shared-memory segments (idempotent).
+
+        The pool shutdown waits for running trials and *cancels* queued
+        ones, so an interrupted grid doesn't leak worker processes; the
+        shm server close unlinks every exported dataset segment.
+        """
         if self._pool is not None:
-            self._pool.shutdown()
+            self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._shm_server is not None:
+            self._shm_server.shutdown()
+            self._shm_server = None
+            self._shm_prepared.clear()
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
             self.close()
         except Exception:
             pass
+
+    def _dataset_manifest(
+        self, configs: Iterable[ExperimentConfig]
+    ) -> Optional[Dict[str, Any]]:
+        """Build + export the datasets of *configs* over shared memory.
+
+        Returns the manifest (content key → segment handle) shipped with
+        every worker task, or ``None`` when sharing is disabled.  The
+        parent builds each distinct workload's dataset once (hitting its
+        own memo/disk cache), exports every memoized dataset, and reuses
+        segments across calls.
+        """
+        from repro.workloads import datasets, make_workload, shm
+
+        if not datasets.shm_enabled() or datasets.memo_mode() == "legacy":
+            return None
+        for name in {config.workload for config in configs}:
+            if name in self._shm_prepared:
+                continue
+            workload = make_workload(name)
+            workload.prepare(
+                RngTree(DATASET_SEED).subtree("dataset", name)
+            )
+            self._shm_prepared.add(name)
+        if self._shm_server is None:
+            self._shm_server = shm.ShmServer()
+        for spec, arrays in datasets.memo_items():
+            self._shm_server.export(spec.key, arrays)
+        manifest = self._shm_server.handles
+        return manifest or None
 
     def _assemble(
         self,
@@ -258,6 +329,34 @@ class ExperimentRunner:
             result.add(trial)
         return result
 
+    def _submit_cell(
+        self, config: ExperimentConfig, seeds: List[int],
+        manifest: Optional[Dict[str, Any]],
+    ) -> List[Future]:
+        """Fan one cell's seeds over the pool as seed-chunk tasks."""
+        pool = self._ensure_pool()
+        return [
+            pool.submit(
+                run_cell_trials, config.workload, config.system, chunk,
+                config.trace, config.metrics, manifest,
+            )
+            for chunk in chunk_seeds(seeds, self.jobs)
+        ]
+
+    def _collect_cell(
+        self, config: ExperimentConfig, futures: List[Future]
+    ) -> List[TrialResult]:
+        """Gather chunk futures in submission order (= seed order)."""
+        trials: List[TrialResult] = []
+        for future in futures:
+            for trial in future.result():
+                trials.append(trial)
+                self._observe(config, trial)
+                self._note(
+                    f"{config.label} trial {len(trials)}/{config.n_trials}"
+                )
+        return trials
+
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         """Run (or fetch from cache) all trials of one cell."""
         key = self._key(config)
@@ -266,7 +365,15 @@ class ExperimentRunner:
             return cached
         seeds = list(config.seeds())
         trials: List[TrialResult] = []
-        if self.jobs > 1 and len(seeds) > 1:
+        if self.jobs > 1 and len(seeds) > 1 and fast_seeds_enabled():
+            # Fast lane: seed-chunk tasks sharing datasets over shm.
+            manifest = self._dataset_manifest([config])
+            trials = self._collect_cell(
+                config, self._submit_cell(config, seeds, manifest)
+            )
+        elif self.jobs > 1 and len(seeds) > 1:
+            # Historical scheduling (REPRO_FAST_SEEDS=0): one task per
+            # seed, no dataset sharing beyond each worker's own state.
             futures = [
                 self._ensure_pool().submit(
                     run_trial, config.workload, config.system, seed,
@@ -280,13 +387,16 @@ class ExperimentRunner:
                 self._observe(config, trial)
                 self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
         else:
-            for i, seed in enumerate(seeds):
-                self._note(f"{config.label} trial {i + 1}/{config.n_trials}")
-                trial = run_trial(
-                    config.workload, config.system, seed, config.trace,
-                    config.metrics,
+            def progress(row: int, _seed: int) -> None:
+                self._note(
+                    f"{config.label} trial {row + 1}/{config.n_trials}"
                 )
-                trials.append(trial)
+
+            trials = run_cell_trials(
+                config.workload, config.system, seeds, config.trace,
+                config.metrics, None, progress=progress,
+            )
+            for trial in trials:
                 self._observe(config, trial)
         result = self._assemble(config, trials)
         self._cache[key] = result
@@ -303,6 +413,28 @@ class ExperimentRunner:
         """
         configs = list(configs)
         if self.jobs <= 1:
+            return [self.run(config) for config in configs]
+        if fast_seeds_enabled():
+            fresh = []
+            seen: set = set()
+            for config in configs:
+                key = self._key(config)
+                if key in self._cache or key in seen:
+                    continue
+                seen.add(key)
+                fresh.append(config)
+            manifest = self._dataset_manifest(fresh) if fresh else None
+            pending_cells: Dict[tuple, tuple] = {}
+            for config in fresh:
+                seeds = list(config.seeds())
+                if len(seeds) > 1:
+                    futures = self._submit_cell(config, seeds, manifest)
+                    pending_cells[self._key(config)] = (config, futures)
+            for key, (config, futures) in pending_cells.items():
+                self._cache[key] = self._assemble(
+                    config, self._collect_cell(config, futures)
+                )
+            # Single-seed cells (nothing to fan out) run inline.
             return [self.run(config) for config in configs]
         pending: Dict[tuple, tuple] = {}
         for config in configs:

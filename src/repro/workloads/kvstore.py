@@ -35,9 +35,14 @@ class KVStore:
         self,
         n_items: int,
         value_bytes: int,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None = None,
         index_load_factor: float = 0.75,
+        *,
+        item_page: np.ndarray | None = None,
     ) -> None:
+        """Either *rng* (draw the slab placement) or *item_page* (a
+        precomputed placement from the shared dataset layer) must be
+        given."""
         if n_items < 1:
             raise ConfigError("store needs at least one item")
         if value_bytes < 1 or value_bytes > PAGE_SIZE - ITEM_OVERHEAD:
@@ -50,9 +55,19 @@ class KVStore:
         self.n_index_pages = max(
             1, -(-n_buckets * BUCKET_ENTRY // PAGE_SIZE)
         )
-        # Scatter items over slabs: hash placement, not insertion order.
-        slot_of_item = rng.permutation(n_items)
-        self._item_page = (slot_of_item // self.items_per_page).astype(np.int64)
+        if item_page is not None:
+            if item_page.shape != (n_items,):
+                raise ConfigError("item_page must have shape (n_items,)")
+            self._item_page = item_page
+        elif rng is not None:
+            # Scatter items over slabs: hash placement, not insertion
+            # order.
+            slot_of_item = rng.permutation(n_items)
+            self._item_page = (
+                slot_of_item // self.items_per_page
+            ).astype(np.int64)
+        else:
+            raise ConfigError("KVStore needs an rng or a precomputed layout")
 
     # ------------------------------------------------------------------
     # Lookups (vectorized; return page indices relative to each VMA)

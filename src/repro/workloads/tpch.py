@@ -30,6 +30,7 @@ from repro.mm.page import PageKind
 from repro.mm.system import MemorySystem
 from repro.sim.events import Barrier, Compute
 from repro.sim.rng import RngTree
+from repro.workloads import datasets
 from repro.workloads.base import Workload, WorkloadResult, chunk_bounds
 from repro.workloads.zipf import ZipfSampler
 
@@ -95,10 +96,24 @@ class TPCHWorkload(Workload):
     def _build(self, rng: RngTree) -> int:
         self._rng = rng
         p = self.params
+        spec = datasets.DatasetSpec(
+            name="tpch",
+            params=repr(p),
+            seed=rng.seed,
+            rng_path=rng._path,
+        )
+        data = datasets.get_dataset(
+            spec,
+            lambda: {
+                "hash_perm": rng.stream("tpch", "hash-perm").permutation(
+                    p.hash_pages
+                ),
+            },
+        )
         self._probe_zipf = ZipfSampler(
             p.hash_pages,
             theta=p.probe_theta,
-            permutation=rng.stream("tpch", "hash-perm").permutation(p.hash_pages),
+            permutation=data["hash_perm"],
         )
         return p.table_pages + p.hash_pages + p.shuffle_pages
 

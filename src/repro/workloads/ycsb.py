@@ -28,6 +28,7 @@ from repro.mm.page import PageKind
 from repro.mm.system import MemorySystem
 from repro.sim.events import Compute
 from repro.sim.rng import RngTree
+from repro.workloads import datasets
 from repro.workloads.base import Workload, WorkloadResult
 from repro.workloads.kvstore import KVStore
 from repro.workloads.zipf import ZipfSampler
@@ -80,11 +81,35 @@ class YCSBWorkload(Workload):
     def _build(self, rng: RngTree) -> int:
         self._rng = rng
         p = self.params
-        self._store = KVStore(p.n_items, p.value_bytes, rng.stream("kv", "layout"))
+
+        def build() -> dict:
+            # Draw order matches the historical in-place construction;
+            # the streams are name-independent, so extracting them into
+            # the dataset layer changes no draws.
+            store = KVStore(
+                p.n_items, p.value_bytes, rng.stream("kv", "layout")
+            )
+            return {
+                "item_page": store._item_page,
+                "rank_perm": rng.stream("kv", "rank-perm").permutation(
+                    p.n_items
+                ),
+            }
+
+        spec = datasets.DatasetSpec(
+            name=self.name,
+            params=repr(p),
+            seed=rng.seed,
+            rng_path=rng._path,
+        )
+        data = datasets.get_dataset(spec, build)
+        self._store = KVStore(
+            p.n_items, p.value_bytes, item_page=data["item_page"]
+        )
         self._zipf = ZipfSampler(
             p.n_items,
             theta=p.zipf_theta,
-            permutation=rng.stream("kv", "rank-perm").permutation(p.n_items),
+            permutation=data["rank_perm"],
         )
         return self._store.footprint_pages
 

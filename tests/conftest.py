@@ -11,6 +11,20 @@ from repro.policies import make_policy
 from repro.sim.engine import Engine
 from repro.sim.rng import RngTree
 from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+from repro.workloads import datasets
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk dataset cache at a per-session temp directory
+    so test runs never touch (or depend on) the user's real cache.  The
+    process memo needs no isolation: it is content-addressed, so tiny
+    test datasets and full-size ones never collide."""
+    cache_dir = tmp_path_factory.mktemp("repro-trace-cache")
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setenv("REPRO_TRACE_CACHE", str(cache_dir))
+        yield
+    datasets.clear_process_state()
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""On-disk trace cache: roundtrip, atomicity fallback, cap eviction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tracecache
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    monkeypatch.delenv("REPRO_TRACE_CACHE_CAP_MB", raising=False)
+    tracecache.STATS.reset()
+    return tmp_path
+
+
+def sample_arrays():
+    return {
+        "offsets": np.arange(10, dtype=np.int64),
+        "mask": np.array([True, False, True]),
+    }
+
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+class TestRoundtrip:
+    def test_store_then_load(self, cache_dir):
+        assert tracecache.store(KEY, "unit", sample_arrays())
+        loaded = tracecache.load(KEY, "unit")
+        assert loaded is not None
+        assert set(loaded) == {"offsets", "mask"}
+        np.testing.assert_array_equal(loaded["offsets"], np.arange(10))
+        np.testing.assert_array_equal(
+            loaded["mask"], np.array([True, False, True])
+        )
+        assert tracecache.STATS.stores == 1
+        assert tracecache.STATS.hits == 1
+
+    def test_miss_on_unknown_key(self, cache_dir):
+        assert tracecache.load(KEY, "unit") is None
+        assert tracecache.STATS.misses == 1
+
+    def test_key_prefix_collision_is_miss(self, cache_dir):
+        """A file whose name matches but whose stored key differs must
+        not be served."""
+        tracecache.store(KEY, "unit", sample_arrays())
+        path = next(cache_dir.glob("*.npz"))
+        forged = cache_dir / path.name.replace(KEY[:16], OTHER[:16])
+        path.rename(forged)
+        assert tracecache.load(OTHER, "unit") is None
+
+    def test_disabled_by_env(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        assert tracecache.store(KEY, "unit", sample_arrays()) is False
+        assert tracecache.load(KEY, "unit") is None
+        assert list(cache_dir.iterdir()) == []
+
+
+class TestRobustness:
+    def test_corrupt_file_is_miss_and_removed(self, cache_dir):
+        tracecache.store(KEY, "unit", sample_arrays())
+        path = next(cache_dir.glob("*.npz"))
+        path.write_bytes(b"not an npz payload")
+        assert tracecache.load(KEY, "unit") is None
+        assert not path.exists()
+        assert tracecache.STATS.errors == 1
+
+    def test_store_failure_is_swallowed(self, cache_dir, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_TRACE_CACHE", str(cache_dir / "file-not-dir")
+        )
+        (cache_dir / "file-not-dir").write_text("occupied")
+        assert tracecache.store(KEY, "unit", sample_arrays()) is False
+
+
+class TestEviction:
+    def test_cap_evicts_oldest(self, cache_dir, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE_CAP_MB", "1")
+        big = {"blob": np.zeros(100_000, dtype=np.int64)}  # ~0.8 MiB
+        tracecache.store("c" * 64, "first", big)
+        first = next(cache_dir.glob("first-*.npz"))
+        # Backdate so mtime ordering is unambiguous.
+        import os
+
+        os.utime(first, (1, 1))
+        tracecache.store("d" * 64, "second", big)
+        assert tracecache.STATS.evictions >= 1
+        assert not first.exists()
+        assert tracecache.load("d" * 64, "second") is not None
