@@ -1,0 +1,212 @@
+"""Fleet-scale benchmark: 200 tenants under global memory pressure.
+
+Three acceptance properties of the multi-tenant memcg fleet, measured
+end to end:
+
+1. **Bounded RSS** — a 200-tenant fleet trial (streaming per-tenant
+   histograms, JSONL sink, shared per-shape datasets) stays under a
+   peak-RSS budget.  Per-tenant state is O(1) in request count, so the
+   footprint is dominated by the simulator itself, not the fleet size.
+2. **Execution-mode identity** — a seeded sweep produces identical
+   per-tenant p99 and SLO numbers run serially, with ``--jobs 2``, and
+   across an interrupt (``max_trials``) followed by a resume of the
+   same sink file.
+3. **Throughput** — simulated requests per wall-clock second, for
+   tracking the fleet path's mechanical cost over time.
+
+Writes ``benchmarks/output/BENCH_fleet.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [--tenants N]
+        [--requests N] [--rss-budget-mb MB] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import time
+
+from repro.fleet.config import FleetConfig, TenantShape
+from repro.fleet.report import render_markdown, summary_by_policy
+from repro.fleet.runner import run_sweep
+from repro.fleet.sink import JsonlSink, load_rows
+from repro.fleet.trial import run_fleet_trial
+
+
+def peak_rss_mb() -> float:
+    """Peak RSS of this process in MiB (ru_maxrss is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def big_fleet_config(n_tenants: int, n_requests: int) -> FleetConfig:
+    """Global pressure, two tenant shapes, no hard limits — the
+    proportional global reclaimer does all the work.  Capacity is 25%
+    of the aggregate footprint: Zipf-split requests only touch part of
+    each tenant's keyspace, so a looser ratio leaves residency below
+    the waterline and exercises no reclaim at all."""
+    return FleetConfig(
+        n_tenants=n_tenants,
+        shapes=(
+            TenantShape(n_items=300),
+            TenantShape(n_items=600, read_fraction=0.5),
+        ),
+        capacity_ratio=0.25,
+        n_requests_total=n_requests,
+        arrival_rate_rps=400_000.0,
+        slo_ns=2_000_000,
+        n_cpus=8,
+    )
+
+
+def bench_scale(args) -> dict:
+    """Property 1 + 3: the 200-tenant trial, RSS and throughput."""
+    config = big_fleet_config(args.tenants, args.requests)
+    rss_before = peak_rss_mb()
+    t0 = time.perf_counter()
+    row = run_fleet_trial(config, "mglru", 4242)
+    wall_s = time.perf_counter() - t0
+    rss_after = peak_rss_mb()
+    served = sum(t["requests"] for t in row["tenants"])
+    return {
+        "tenants": args.tenants,
+        "requests": served,
+        "wall_s": round(wall_s, 3),
+        "requests_per_s": round(served / wall_s, 1),
+        "sim_runtime_ns": row["runtime_ns"],
+        "peak_rss_mb": round(rss_after, 1),
+        "rss_growth_mb": round(rss_after - rss_before, 1),
+        "rss_budget_mb": args.rss_budget_mb,
+        "rss_ok": rss_after <= args.rss_budget_mb,
+        "evictions": row["totals"]["evictions"],
+        "major_faults": row["totals"]["major_faults"],
+    }
+
+
+def _tenant_p99_slo(rows) -> list:
+    """Sorted, comparable (policy, seed, tenant, p99 bucket sig, slo)."""
+    from repro.metrics.registry import Histogram
+
+    out = []
+    for row in sorted(rows, key=lambda r: (r["policy"], r["seed"])):
+        for t in row["tenants"]:
+            hist = Histogram()
+            hist._from_obj(t["request_hist"])
+            out.append(
+                (
+                    row["policy"],
+                    row["seed"],
+                    t["tenant"],
+                    round(hist.percentile(99), 3),
+                    t["slo_violations"],
+                )
+            )
+    return out
+
+
+def bench_identity(args, tmp_dir: pathlib.Path) -> dict:
+    """Property 2: serial == jobs == interrupt+resume, per tenant."""
+    config = FleetConfig(
+        n_tenants=8,
+        shapes=(TenantShape(n_items=250),),
+        capacity_ratio=0.5,
+        n_requests_total=3_000,
+        arrival_rate_rps=120_000.0,
+        n_cpus=4,
+    )
+    policies = ["clock", "mglru"]
+    seeds = [100, 101]
+
+    serial = tmp_dir / "serial.jsonl"
+    with JsonlSink(str(serial), config.to_dict()) as sink:
+        run_sweep(config, policies, seeds, sink, jobs=1)
+    parallel = tmp_dir / "parallel.jsonl"
+    with JsonlSink(str(parallel), config.to_dict()) as sink:
+        run_sweep(config, policies, seeds, sink, jobs=2)
+    resumed = tmp_dir / "resumed.jsonl"
+    with JsonlSink(str(resumed), config.to_dict()) as sink:
+        run_sweep(config, policies, seeds, sink, jobs=1, max_trials=2)
+    with JsonlSink(str(resumed), config.to_dict()) as sink:  # reopen
+        run_sweep(config, policies, seeds, sink, jobs=1)
+
+    sh, srows = load_rows(str(serial))
+    ph, prows = load_rows(str(parallel))
+    rh, rrows = load_rows(str(resumed))
+    s_sig = _tenant_p99_slo(srows)
+    identical = s_sig == _tenant_p99_slo(prows) == _tenant_p99_slo(rrows)
+    reports_identical = (
+        render_markdown(sh, srows)
+        == render_markdown(ph, prows)
+        == render_markdown(rh, rrows)
+    )
+    return {
+        "trials": len(srows),
+        "tenant_series_compared": len(s_sig),
+        "serial_eq_jobs_eq_resume": identical,
+        "reports_identical": reports_identical,
+        "policy_summaries": {
+            policy: {k: round(v, 2) for k, v in summary.items()}
+            for policy, summary in summary_by_policy(srows)
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=200)
+    parser.add_argument("--requests", type=int, default=30_000)
+    parser.add_argument(
+        "--rss-budget-mb",
+        type=float,
+        default=1536.0,
+        help="peak-RSS gate for the scale trial (default 1.5 GiB)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(
+            pathlib.Path(__file__).parent / "output" / "BENCH_fleet.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        identity = bench_identity(args, pathlib.Path(tmp))
+    scale = bench_scale(args)
+
+    result = {
+        "benchmark": "fleet",
+        "scale": scale,
+        "identity": identity,
+    }
+    out_path = pathlib.Path(args.output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+
+    failures = []
+    if not scale["rss_ok"]:
+        failures.append(
+            f"peak RSS {scale['peak_rss_mb']}MB exceeds budget "
+            f"{scale['rss_budget_mb']}MB"
+        )
+    if scale["evictions"] == 0:
+        failures.append(
+            "scale trial produced zero evictions — no memory pressure"
+        )
+    if not identity["serial_eq_jobs_eq_resume"]:
+        failures.append("per-tenant p99/SLO differ across execution modes")
+    if not identity["reports_identical"]:
+        failures.append("rendered reports differ across execution modes")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,12 @@ def run_trial(
     """
     engine = Engine()
     rng = RngTree(seed)
+    # Cache counters must baseline before prepare() touches the dataset
+    # layer, or the trial's own memo/disk traffic vanishes from the
+    # metrics delta.
+    cache_baseline = None
+    if metrics is not None and metrics.enabled:
+        cache_baseline = MetricsSession.snapshot_cache_stats()
     workload = make_workload(workload_name)
     if _seed_cell is not None:
         workload.bind_seed_major(_seed_cell, _seed_row)
@@ -113,7 +119,9 @@ def run_trial(
         session.start()
     mx_session: Optional[MetricsSession] = None
     if metrics is not None and metrics.enabled:
-        mx_session = MetricsSession(metrics, system)
+        mx_session = MetricsSession(
+            metrics, system, cache_baseline=cache_baseline
+        )
         mx_session.start()
     try:
         workload.setup(system)

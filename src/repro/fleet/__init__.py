@@ -1,0 +1,29 @@
+"""Multi-tenant fleet simulation on memory control groups.
+
+The paper characterizes replacement policies one process at a time;
+production deployments of MG-LRU (the paper's §VII deployment notes,
+and the kernel work it cites) run them per-*memcg* across fleets of
+colocated tenants.  This package drives that scenario: N tenants, each
+a KV-store working set inside its own :class:`~repro.memcg.MemCgroup`,
+Zipf-distributed tenant popularity, open-loop Poisson arrivals, one
+shared pool of physical frames reclaimed proportionally.
+
+Per-tenant results — streaming log2 latency histograms (p50/p99/p999),
+SLO violation rates against a configurable latency target, and reclaim
+steal attribution — append incrementally to a resumable JSONL sink
+(:mod:`repro.fleet.sink`) so thousand-tenant sweeps run in bounded RAM
+and survive interruption.  ``python -m repro.fleet`` exposes ``run``
+and ``report``.
+"""
+
+from repro.fleet.config import FleetConfig, TenantShape
+from repro.fleet.sink import JsonlSink
+from repro.fleet.trial import run_fleet_trial, run_memcg_trial
+
+__all__ = [
+    "FleetConfig",
+    "TenantShape",
+    "JsonlSink",
+    "run_fleet_trial",
+    "run_memcg_trial",
+]

@@ -1,0 +1,144 @@
+"""Fleet scenario configuration.
+
+A fleet is described by a tuple of :class:`TenantShape`\\ s (assigned
+round-robin across tenants, so a 500-tenant fleet usually has a handful
+of *distinct* shapes — which is what lets the dataset layer build each
+distinct working set once) plus the :class:`FleetConfig` knobs: global
+capacity, per-tenant memcg limits as ratios of each tenant's footprint,
+traffic (open-loop aggregate arrival rate, Zipf popularity skew across
+tenants), and the SLO latency target.
+
+Both dataclasses are frozen and validate in ``__post_init__``, the same
+idiom as :mod:`repro.core.config`; they are picklable, so a single
+config object travels to ``REPRO_JOBS`` pool workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro._units import MS, US
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TenantShape:
+    """One tenant class: KV-store size plus request behavior."""
+
+    #: Items in the tenant's KV store (sets the working-set footprint).
+    n_items: int = 2_000
+    value_bytes: int = 940  # ~1 KiB values -> 4 items per page
+    #: Key-popularity skew within the tenant (YCSB's classic 0.99).
+    zipf_theta: float = 0.99
+    #: Read fraction of the request mix (YCSB-B-like default).
+    read_fraction: float = 0.95
+    #: Per-request CPU work (hash, memcpy, protocol handling).
+    request_compute_ns: int = 6 * US
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise ConfigError("tenant shape needs at least one item")
+        if self.value_bytes < 1:
+            raise ConfigError("value_bytes must be positive")
+        if self.zipf_theta < 0:
+            raise ConfigError("zipf_theta must be >= 0")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError("read_fraction outside [0, 1]")
+        if self.request_compute_ns < 0:
+            raise ConfigError("request_compute_ns must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines one fleet trial except policy and seed."""
+
+    n_tenants: int = 8
+    #: Tenant classes, assigned round-robin (tenant i gets shape
+    #: ``shapes[i % len(shapes)]``).
+    shapes: Tuple[TenantShape, ...] = (TenantShape(),)
+    swap: str = "zram"
+    #: Global frames as a fraction of the fleet's total footprint —
+    #: the memory-pressure knob (< 1 forces cross-tenant reclaim).
+    capacity_ratio: float = 0.5
+    #: Per-tenant memcg knobs, each a fraction of that tenant's own
+    #: footprint.  ``None`` limit = unlimited; protection defaults off.
+    limit_ratio: Optional[float] = None
+    soft_limit_ratio: Optional[float] = None
+    low_ratio: float = 0.0
+    min_ratio: float = 0.0
+    #: Total requests across the whole fleet, split by popularity.
+    n_requests_total: int = 40_000
+    #: Aggregate open-loop arrival rate (requests/second of simulated
+    #: time, fleet-wide; each tenant gets its popularity share).
+    arrival_rate_rps: float = 150_000.0
+    #: Zipf skew of tenant popularity (0 = uniform load).
+    tenant_zipf_theta: float = 0.8
+    #: SLO latency target on end-to-end request latency (arrival to
+    #: completion, queueing included).
+    slo_ns: int = 2 * MS
+    n_cpus: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ConfigError("fleet needs at least one tenant")
+        if not self.shapes:
+            raise ConfigError("fleet needs at least one tenant shape")
+        if self.swap not in ("ssd", "zram"):
+            raise ConfigError(f"unknown swap device {self.swap!r}")
+        if not 0.0 < self.capacity_ratio:
+            raise ConfigError("capacity_ratio must be positive")
+        for name in ("limit_ratio", "soft_limit_ratio"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be positive when set")
+        if self.low_ratio < 0 or self.min_ratio < 0:
+            raise ConfigError("protection ratios must be >= 0")
+        if self.min_ratio > self.low_ratio > 0:
+            raise ConfigError("min_ratio must not exceed low_ratio")
+        if self.n_requests_total < 1:
+            raise ConfigError("fleet needs at least one request")
+        if self.arrival_rate_rps <= 0:
+            raise ConfigError("arrival_rate_rps must be positive")
+        if self.tenant_zipf_theta < 0:
+            raise ConfigError("tenant_zipf_theta must be >= 0")
+        if self.slo_ns < 1:
+            raise ConfigError("slo_ns must be positive")
+        if self.n_cpus < 1:
+            raise ConfigError("fleet needs at least one CPU")
+
+    def shape_of(self, tenant: int) -> TenantShape:
+        """The shape of tenant *tenant* (round-robin assignment)."""
+        return self.shapes[tenant % len(self.shapes)]
+
+    def shape_index(self, tenant: int) -> int:
+        return tenant % len(self.shapes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (the sink header embeds this)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FleetConfig":
+        data = dict(data)
+        shapes = tuple(
+            TenantShape(**shape) for shape in data.pop("shapes", ())
+        )
+        return cls(shapes=shapes or (TenantShape(),), **data)
+
+
+def apportion_requests(total: int, weights) -> list:
+    """Split *total* into integer shares proportional to *weights*
+    (largest-remainder, index-order tie-break; shares sum exactly)."""
+    weights = [float(w) for w in weights]
+    w_sum = sum(weights)
+    if w_sum <= 0:
+        raise ConfigError("apportioning needs positive total weight")
+    raw = [total * w / w_sum for w in weights]
+    shares = [int(r) for r in raw]
+    order = sorted(
+        range(len(weights)), key=lambda i: (-(raw[i] - shares[i]), i)
+    )
+    for i in order[: total - sum(shares)]:
+        shares[i] += 1
+    return shares

@@ -1,0 +1,290 @@
+"""Fleet report: per-tenant SLO tables from sink rows.
+
+Aggregation is order-independent — rows are grouped by policy and
+merged per tenant with exact integer histogram-bucket addition — so a
+serial sweep, a ``REPRO_JOBS`` sweep, and an interrupted-then-resumed
+sweep of the same grid render byte-identical reports.
+
+:func:`build_registry` additionally surfaces the merged per-tenant
+distributions through :mod:`repro.metrics` with a ``tenant`` label, so
+fleet results ride the same exposition formats (dict dump, Prometheus
+text) as single-process metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.metrics.registry import Histogram, MetricsRegistry
+
+
+class TenantAgg:
+    """One tenant's results merged across the seeds of one policy."""
+
+    __slots__ = (
+        "tenant",
+        "requests",
+        "fault_hist",
+        "request_hist",
+        "slo_violations",
+        "major_faults",
+        "stolen_from",
+        "stolen_by",
+        "limit_breaches",
+        "usage_pages",
+        "footprint_pages",
+    )
+
+    def __init__(self, tenant: int) -> None:
+        self.tenant = tenant
+        self.requests = 0
+        self.fault_hist = Histogram()
+        self.request_hist = Histogram()
+        self.slo_violations = 0
+        self.major_faults = 0
+        self.stolen_from = 0
+        self.stolen_by = 0
+        self.limit_breaches = 0
+        self.usage_pages = 0
+        self.footprint_pages = 0
+
+    def add(self, entry: Dict[str, Any]) -> None:
+        self.requests += int(entry["requests"])
+        other = Histogram()
+        other._from_obj(entry["fault_hist"])
+        self.fault_hist._merge(other)
+        other = Histogram()
+        other._from_obj(entry["request_hist"])
+        self.request_hist._merge(other)
+        self.slo_violations += int(entry["slo_violations"])
+        self.major_faults += int(entry["major_faults"])
+        memcg = entry.get("memcg", {})
+        self.stolen_from += int(memcg.get("stolen_from", 0))
+        self.stolen_by += int(memcg.get("stolen_by", 0))
+        self.limit_breaches += int(memcg.get("limit_breaches", 0))
+        self.usage_pages = max(self.usage_pages, int(entry["usage_pages"]))
+        self.footprint_pages = int(entry["footprint_pages"])
+
+    @property
+    def slo_rate(self) -> float:
+        return self.slo_violations / self.requests if self.requests else 0.0
+
+
+def aggregate(
+    rows: List[Dict[str, Any]]
+) -> Dict[str, Dict[int, TenantAgg]]:
+    """policy -> tenant id -> merged aggregate (deterministic order)."""
+    out: Dict[str, Dict[int, TenantAgg]] = {}
+    for row in sorted(rows, key=lambda r: (str(r["policy"]), int(r["seed"]))):
+        per_tenant = out.setdefault(str(row["policy"]), {})
+        for entry in row["tenants"]:
+            tid = int(entry["tenant"])
+            agg = per_tenant.get(tid)
+            if agg is None:
+                agg = per_tenant[tid] = TenantAgg(tid)
+            agg.add(entry)
+    return out
+
+
+def fleet_summary(per_tenant: Dict[int, TenantAgg]) -> Dict[str, float]:
+    """Fleet-wide numbers for one policy (exact histogram merge)."""
+    requests = Histogram()
+    faults = Histogram()
+    n_requests = 0
+    n_viol = 0
+    worst_p99 = 0.0
+    for agg in per_tenant.values():
+        requests._merge(agg.request_hist)
+        faults._merge(agg.fault_hist)
+        n_requests += agg.requests
+        n_viol += agg.slo_violations
+        worst_p99 = max(worst_p99, agg.request_hist.percentile(99))
+    return {
+        "requests": float(n_requests),
+        "request_p50_ns": requests.percentile(50),
+        "request_p99_ns": requests.percentile(99),
+        "request_p999_ns": requests.percentile(99.9),
+        "fault_p99_ns": faults.percentile(99),
+        "worst_tenant_p99_ns": worst_p99,
+        "slo_rate": n_viol / n_requests if n_requests else 0.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+
+def _fmt_us(ns: float) -> str:
+    return f"{ns / 1000.0:.1f}us"
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_markdown(
+    header: Dict[str, Any],
+    rows: List[Dict[str, Any]],
+    top: int = 10,
+    title: str = "Fleet report",
+) -> str:
+    """The full fleet report: policy comparison + worst tenants."""
+    groups = aggregate(rows)
+    config = header.get("config", {})
+    parts = [f"# {title}", ""]
+    parts.append(
+        "_"
+        + ", ".join(
+            f"{k}={config[k]}"
+            for k in (
+                "n_tenants",
+                "capacity_ratio",
+                "limit_ratio",
+                "arrival_rate_rps",
+                "slo_ns",
+            )
+            if k in config
+        )
+        + f", trials={len(rows)}_"
+    )
+    parts.append("")
+    parts.append("## Policy comparison")
+    parts.append("")
+    comp_rows = []
+    for policy in sorted(groups):
+        s = fleet_summary(groups[policy])
+        comp_rows.append(
+            [
+                policy,
+                f"{int(s['requests'])}",
+                _fmt_us(s["request_p50_ns"]),
+                _fmt_us(s["request_p99_ns"]),
+                _fmt_us(s["request_p999_ns"]),
+                _fmt_us(s["worst_tenant_p99_ns"]),
+                f"{s['slo_rate']:.2%}",
+            ]
+        )
+    parts.append(
+        _md_table(
+            [
+                "policy",
+                "requests",
+                "req p50",
+                "req p99",
+                "req p999",
+                "worst-tenant p99",
+                "SLO viol",
+            ],
+            comp_rows,
+        )
+    )
+    parts.append("")
+    for policy in sorted(groups):
+        per_tenant = groups[policy]
+        worst = sorted(
+            per_tenant.values(),
+            key=lambda a: (-a.request_hist.percentile(99), a.tenant),
+        )[:top]
+        parts.append(f"## {policy}: top {len(worst)} tenants by p99")
+        parts.append("")
+        tenant_rows = [
+            [
+                f"t{a.tenant}",
+                str(a.requests),
+                _fmt_us(a.fault_hist.percentile(99)),
+                _fmt_us(a.request_hist.percentile(99)),
+                _fmt_us(a.request_hist.percentile(99.9)),
+                f"{a.slo_rate:.2%}",
+                str(a.stolen_from),
+                str(a.stolen_by),
+            ]
+            for a in worst
+        ]
+        parts.append(
+            _md_table(
+                [
+                    "tenant",
+                    "requests",
+                    "fault p99",
+                    "req p99",
+                    "req p999",
+                    "SLO viol",
+                    "stolen from",
+                    "stolen by",
+                ],
+                tenant_rows,
+            )
+        )
+        parts.append("")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Metrics-plane export (tenant label)
+# ----------------------------------------------------------------------
+
+def build_registry(rows: List[Dict[str, Any]]) -> MetricsRegistry:
+    """Merged fleet results as a :class:`MetricsRegistry`.
+
+    Every per-tenant series carries ``policy`` and ``tenant`` labels, so
+    fleet runs surface through the exact machinery (dict dumps,
+    Prometheus text, exact merge) the single-process metrics plane uses.
+    """
+    reg = MetricsRegistry()
+    fault = reg.histogram(
+        "repro_fleet_fault_ns",
+        help="Per-tenant fault service latency across the fleet.",
+        unit="nanoseconds",
+        labelnames=("policy", "tenant"),
+    )
+    request = reg.histogram(
+        "repro_fleet_request_ns",
+        help="Per-tenant end-to-end request latency (arrival to "
+        "completion, queueing included).",
+        unit="nanoseconds",
+        labelnames=("policy", "tenant"),
+    )
+    requests_total = reg.counter(
+        "repro_fleet_requests_total",
+        help="Requests served per tenant.",
+        unit="requests",
+        labelnames=("policy", "tenant"),
+    )
+    viol_total = reg.counter(
+        "repro_fleet_slo_violations_total",
+        help="Requests exceeding the SLO latency target, per tenant.",
+        unit="requests",
+        labelnames=("policy", "tenant"),
+    )
+    stolen = reg.counter(
+        "repro_fleet_reclaim_stolen_pages_total",
+        help="Pages reclaimed from each tenant by global pressure, by "
+        "direction (from=victim, by=instigator).",
+        unit="pages",
+        labelnames=("policy", "tenant", "direction"),
+    )
+    for policy, per_tenant in aggregate(rows).items():
+        for tid in sorted(per_tenant):
+            agg = per_tenant[tid]
+            label = {"policy": policy, "tenant": str(tid)}
+            fault.labels(**label)._merge(agg.fault_hist)
+            request.labels(**label)._merge(agg.request_hist)
+            requests_total.labels(**label).inc(agg.requests)
+            viol_total.labels(**label).inc(agg.slo_violations)
+            stolen.labels(direction="from", **label).inc(agg.stolen_from)
+            stolen.labels(direction="by", **label).inc(agg.stolen_by)
+    return reg
+
+
+def summary_by_policy(
+    rows: List[Dict[str, Any]]
+) -> List[Tuple[str, Dict[str, float]]]:
+    """(policy, fleet summary) pairs, sorted by policy name."""
+    groups = aggregate(rows)
+    return [(p, fleet_summary(groups[p])) for p in sorted(groups)]

@@ -1,0 +1,87 @@
+"""Fleet sweep driver: (policy × seed) grid over a resumable sink.
+
+The pending set is the grid minus the sink's completed set, processed
+in sorted order.  With ``jobs > 1`` trials fan out over a process pool
+(each trial re-imports the shared datasets through the disk trace
+cache, so workers do not rebuild distinct shapes either); rows append
+in completion order, which is fine because the report layer is
+order-independent.  ``max_trials`` bounds how many trials this
+*invocation* runs — the CI smoke job uses it to simulate an interrupt
+and assert the resume path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.core.experiment import _jobs_from_env
+from repro.fleet.config import FleetConfig
+from repro.fleet.sink import JsonlSink
+from repro.fleet.trial import run_fleet_trial
+
+
+def pending_grid(
+    sink: JsonlSink, policies: Iterable[str], seeds: Iterable[int]
+) -> List[Tuple[str, int]]:
+    """The sorted (policy, seed) pairs not yet in the sink."""
+    done = sink.completed
+    return sorted(
+        (policy, seed)
+        for policy in policies
+        for seed in seeds
+        if (policy, seed) not in done
+    )
+
+
+def run_sweep(
+    config: FleetConfig,
+    policies: Iterable[str],
+    seeds: Iterable[int],
+    sink: JsonlSink,
+    jobs: Optional[int] = None,
+    max_trials: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Run the missing trials of the grid; returns how many ran.
+
+    Every appended row is durable before the next trial starts, so an
+    interrupt anywhere loses at most the in-flight trials.
+    """
+    jobs = _jobs_from_env() if jobs is None else max(1, int(jobs))
+    todo = pending_grid(sink, policies, seeds)
+    if max_trials is not None:
+        todo = todo[: max(0, int(max_trials))]
+    if not todo:
+        return 0
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    ran = 0
+    if jobs > 1 and len(todo) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(run_fleet_trial, config, policy, seed): (
+                    policy,
+                    seed,
+                )
+                for policy, seed in todo
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    policy, seed = futures[future]
+                    sink.append(future.result())
+                    ran += 1
+                    note(f"fleet {policy} seed {seed} ({ran}/{len(todo)})")
+    else:
+        for policy, seed in todo:
+            sink.append(run_fleet_trial(config, policy, seed))
+            ran += 1
+            note(f"fleet {policy} seed {seed} ({ran}/{len(todo)})")
+    return ran

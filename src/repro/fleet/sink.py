@@ -1,0 +1,181 @@
+"""Resumable JSONL result sink for fleet sweeps.
+
+One file per sweep: a header line identifying the format and the
+config (by content digest), then one line per finished
+``(policy, seed)`` trial, appended and flushed as each completes.  The
+sink is the fleet's durability story:
+
+- **bounded RAM** — rows leave the process as soon as they are
+  produced; a thousand-tenant sweep never accumulates results in
+  memory;
+- **resumable** — reopening an existing file recovers the completed
+  ``(policy, seed)`` set so an interrupted sweep reruns only what is
+  missing.  A torn final line (the process died mid-write) is detected
+  and ignored; that trial simply reruns;
+- **config-guarded** — the header digest refuses to mix rows from
+  different fleet configs in one file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigError
+
+FORMAT = "repro.fleet/v1"
+
+
+def config_digest(config_dict: Dict[str, Any]) -> str:
+    """Content digest of a fleet config (canonical JSON, sha256)."""
+    canon = json.dumps(config_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class JsonlSink:
+    """Append-only JSONL sink keyed by (policy, seed)."""
+
+    def __init__(self, path: str, config_dict: Dict[str, Any]) -> None:
+        self.path = path
+        self.config = config_dict
+        self.digest = config_digest(config_dict)
+        self._completed: Set[Tuple[str, int]] = set()
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # Open / recovery
+    # ------------------------------------------------------------------
+
+    def open(self) -> "JsonlSink":
+        """Open for appending, recovering completed trials if present."""
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._recover()
+        else:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "a")
+            self._write(
+                {
+                    "kind": "header",
+                    "format": FORMAT,
+                    "digest": self.digest,
+                    "config": self.config,
+                }
+            )
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        return self
+
+    def _recover(self) -> None:
+        """Validate the header, collect completed (policy, seed)s, and
+        truncate a torn tail so the next append starts on a clean line.
+
+        Only the *final* line may be torn (it fails to parse, or lacks
+        its trailing newline because the process died mid-write); a
+        malformed line anywhere else means the file is not ours.  The
+        torn trial simply reruns.
+        """
+        header, rows, keep, size = _scan(self.path)
+        if header.get("digest") != self.digest:
+            raise ConfigError(
+                f"{self.path}: config digest {header.get('digest')!r} does "
+                f"not match this sweep's {self.digest!r}; use a fresh file"
+            )
+        for row in rows:
+            self._completed.add((str(row["policy"]), int(row["seed"])))
+        if keep < size:
+            with open(self.path, "r+") as fh:
+                fh.truncate(keep)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        assert self._fh is not None, "sink not opened"
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one trial row (durable before return)."""
+        if row.get("kind") != "trial":
+            raise ConfigError("sink rows must have kind='trial'")
+        self._write(row)
+        self._completed.add((str(row["policy"]), int(row["seed"])))
+
+    @property
+    def completed(self) -> Set[Tuple[str, int]]:
+        """(policy, seed) pairs already in the file."""
+        return set(self._completed)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self.open()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+def _scan(path: str):
+    """Parse a sink file: (header, trial rows, valid-prefix bytes, size).
+
+    A final line that fails to parse *or* lacks its trailing newline is
+    a torn append: it is excluded and the valid prefix ends before it.
+    Anywhere else, both conditions are corruption.
+    """
+    with open(path) as fh:
+        raw = fh.read()
+    if not raw:
+        raise ConfigError(f"{path}: empty sink file")
+    entries = []  # (line, start offset, ends with newline)
+    start = 0
+    while start < len(raw):
+        newline = raw.find("\n", start)
+        if newline == -1:
+            entries.append((raw[start:], start, False))
+            break
+        entries.append((raw[start:newline], start, True))
+        start = newline + 1
+    header: Optional[Dict[str, Any]] = None
+    rows: List[Dict[str, Any]] = []
+    keep = len(raw)
+    for lineno, (line, offset, complete) in enumerate(entries, start=1):
+        last = lineno == len(entries)
+        row = _parse_line(line) if line.strip() else {}
+        torn = row is None or not complete
+        if lineno == 1:
+            if torn or row.get("kind") != "header" or row.get("format") != FORMAT:
+                raise ConfigError(f"{path}: not a {FORMAT} sink file")
+            header = row
+            continue
+        if torn:
+            if not last:
+                raise ConfigError(f"{path}:{lineno}: corrupt row mid-file")
+            keep = offset  # torn tail: that trial reruns
+            break
+        if row.get("kind") == "trial":
+            rows.append(row)
+    assert header is not None
+    return header, rows, keep, len(raw)
+
+
+def load_rows(path: str) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read a sink file: (header, trial rows).  Torn tails are dropped
+    with the same tolerance the appender's recovery applies (the file
+    itself is left untouched)."""
+    header, rows, _keep, _size = _scan(path)
+    return header, rows

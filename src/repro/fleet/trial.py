@@ -1,0 +1,456 @@
+"""One fleet trial: N tenants, one frame pool, per-tenant memcgs.
+
+``run_fleet_trial`` is the fleet analogue of
+:func:`repro.core.experiment.run_trial`: a completely fresh simulator
+per (config, policy, seed), returning one JSON-safe *row* for the
+:class:`~repro.fleet.sink.JsonlSink`.  Memory stays bounded regardless
+of request count: per-tenant latency distributions are streaming log2
+:class:`~repro.metrics.registry.Histogram`\\ s (64 integers each), never
+per-request arrays.
+
+Layout and traffic both come from named RNG streams, so serial and
+``REPRO_JOBS`` executions of the same (config, policy, seed) cell are
+bit-identical; dataset construction goes through
+:func:`repro.workloads.datasets.get_dataset`, so a 500-tenant fleet
+with a handful of distinct shapes builds each distinct working set
+once per process (and shares it on disk across processes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import DATASET_SEED
+from repro.fleet.config import FleetConfig, TenantShape, apportion_requests
+from repro.memcg import MemCgroup, MemcgPolicy, audit_usage
+from repro.metrics.registry import Histogram
+from repro.mm.page import PageKind
+from repro.mm.system import MemorySystem
+from repro.policies import make_policy
+from repro.sim.engine import Engine
+from repro.sim.events import Compute, Sleep
+from repro.sim.rng import RngTree
+from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
+from repro.workloads import datasets
+from repro.workloads.kvstore import KVStore
+from repro.workloads.zipf import ZipfSampler
+
+#: Row format tag (also the sink's header format).
+ROW_FORMAT = "repro.fleet/v1"
+
+#: Keys sampled per batch inside a tenant thread (amortizes RNG cost,
+#: not semantics — matches the YCSB workload's batching idiom).
+KEY_BATCH = 256
+
+
+# ----------------------------------------------------------------------
+# Shared per-shape data (satellite: one build per distinct shape)
+# ----------------------------------------------------------------------
+
+def _shape_dataset(shape: TenantShape, shape_idx: int) -> Dict[str, Any]:
+    """Item placement, rank permutation and Zipf CDF for one shape.
+
+    Keyed by the shape's parameters through the content-hash dataset
+    layer, so every tenant of the same shape — and every trial, and
+    every pool worker via the disk cache — reuses one build.  The Zipf
+    CDF rides along because its harmonic-sum construction is the only
+    other O(n_items) step per tenant.
+    """
+    dataset_rng = RngTree(DATASET_SEED).subtree(
+        "dataset", f"fleet-kv-{shape_idx}"
+    )
+
+    def build() -> Dict[str, np.ndarray]:
+        store = KVStore(
+            shape.n_items,
+            shape.value_bytes,
+            dataset_rng.stream("kv", "layout"),
+        )
+        sampler = ZipfSampler(shape.n_items, theta=shape.zipf_theta)
+        return {
+            "item_page": store._item_page,
+            "rank_perm": dataset_rng.stream("kv", "rank-perm").permutation(
+                shape.n_items
+            ),
+            "zipf_cdf": sampler.cdf,
+        }
+
+    spec = datasets.DatasetSpec(
+        name=f"fleet-kv-{shape_idx}",
+        params=repr(shape),
+        seed=dataset_rng.seed,
+        rng_path=dataset_rng._path,
+    )
+    data = datasets.get_dataset(spec, build)
+    store = KVStore(
+        shape.n_items, shape.value_bytes, item_page=data["item_page"]
+    )
+    sampler = ZipfSampler(
+        shape.n_items,
+        theta=shape.zipf_theta,
+        permutation=data["rank_perm"],
+        cdf=data["zipf_cdf"],
+    )
+    return {"store": store, "sampler": sampler}
+
+
+def _ratio_pages(footprint: int, ratio: Optional[float]) -> Optional[int]:
+    if ratio is None:
+        return None
+    return max(1, int(footprint * ratio))
+
+
+# ----------------------------------------------------------------------
+# Tenant server thread
+# ----------------------------------------------------------------------
+
+class _TenantState:
+    """Mutable per-tenant run state (histograms + counters)."""
+
+    __slots__ = (
+        "fault_hist",
+        "request_hist",
+        "requests_done",
+        "slo_violations",
+        "major_faults",
+        "minor_faults",
+    )
+
+    def __init__(self) -> None:
+        self.fault_hist = Histogram()
+        self.request_hist = Histogram()
+        self.requests_done = 0
+        self.slo_violations = 0
+        self.major_faults = 0
+        self.minor_faults = 0
+
+
+def _tenant_body(
+    system: MemorySystem,
+    tenant: int,
+    shape: TenantShape,
+    store: KVStore,
+    sampler: ZipfSampler,
+    arrivals: np.ndarray,
+    index_start: int,
+    item_start: int,
+    slo_ns: int,
+    state: _TenantState,
+) -> Iterator[Any]:
+    """Open-loop server: sleep to each arrival, serve the request.
+
+    Request latency is completion minus *arrival* (queueing included),
+    which is what the SLO judges; fault latency is measured around each
+    ``handle_fault`` alone.
+    """
+    key_rng = system.rng.stream("fleet", "keys", tenant)
+    op_rng = system.rng.stream("fleet", "ops", tenant)
+    table = system.address_space.page_table
+    engine = system.engine
+    n_mine = int(arrivals.shape[0])
+    fault_hist = state.fault_hist
+    request_hist = state.request_hist
+    issued = 0
+    while issued < n_mine:
+        batch = min(KEY_BATCH, n_mine - issued)
+        keys = sampler.sample(key_rng, batch)
+        is_read = op_rng.random(batch) < shape.read_fraction
+        index_vpns = index_start + store.index_pages(keys)
+        item_vpns = item_start + store.item_pages(keys)
+        for i in range(batch):
+            arrival = int(arrivals[issued + i])
+            if arrival > engine.now:
+                yield Sleep(arrival - engine.now)
+            write = not is_read[i]
+            yield Compute(shape.request_compute_ns)
+            # Hash-index page, then the item page (YCSB access shape).
+            page = table.lookup(index_vpns[i])
+            if page.present:
+                system.stats.hits += 1
+                page.accessed = True
+            else:
+                major = page.swap_slot is not None
+                t0 = engine.now
+                yield from system.handle_fault(page, False)
+                fault_hist.observe(engine.now - t0)
+                if major:
+                    state.major_faults += 1
+                else:
+                    state.minor_faults += 1
+            page = table.lookup(item_vpns[i])
+            if page.present:
+                system.stats.hits += 1
+                page.accessed = True
+                if write:
+                    page.dirty = True
+            else:
+                major = page.swap_slot is not None
+                t0 = engine.now
+                yield from system.handle_fault(page, write)
+                fault_hist.observe(engine.now - t0)
+                if major:
+                    state.major_faults += 1
+                else:
+                    state.minor_faults += 1
+            latency = engine.now - arrival
+            request_hist.observe(latency)
+            if latency > slo_ns:
+                state.slo_violations += 1
+        issued += batch
+    state.requests_done = issued
+    return issued
+
+
+# ----------------------------------------------------------------------
+# The trial
+# ----------------------------------------------------------------------
+
+def run_fleet_trial(
+    config: FleetConfig, policy_name: str, seed: int
+) -> Dict[str, Any]:
+    """One fleet execution on a fresh simulator; returns a sink row."""
+    engine = Engine()
+    rng = RngTree(seed)
+    n = config.n_tenants
+
+    # Shared per-shape data: one dataset build per *distinct* shape.
+    shape_data = [
+        _shape_dataset(shape, idx)
+        for idx, shape in enumerate(config.shapes)
+    ]
+
+    # Per-tenant cgroup + inner policy instance (one lruvec each).
+    cgroups: List[MemCgroup] = []
+    footprints: List[int] = []
+    total_footprint = 0
+    for i in range(n):
+        store: KVStore = shape_data[config.shape_index(i)]["store"]
+        footprint = store.footprint_pages
+        footprints.append(footprint)
+        total_footprint += footprint
+        cgroups.append(
+            MemCgroup(
+                name=f"t{i}",
+                policy=make_policy(policy_name),
+                limit_pages=_ratio_pages(footprint, config.limit_ratio),
+                soft_limit_pages=_ratio_pages(
+                    footprint, config.soft_limit_ratio
+                ),
+                low_pages=(
+                    _ratio_pages(footprint, config.low_ratio)
+                    if config.low_ratio
+                    else 0
+                ),
+                min_pages=(
+                    _ratio_pages(footprint, config.min_ratio)
+                    if config.min_ratio
+                    else 0
+                ),
+            )
+        )
+    root = MemcgPolicy(cgroups)
+
+    capacity = max(64, int(total_footprint * config.capacity_ratio))
+    sys_config = SystemConfig(
+        policy=policy_name,
+        swap=config.swap,
+        capacity_ratio=config.capacity_ratio,
+        n_cpus=config.n_cpus,
+    )
+    if config.swap == "ssd":
+        device = SSDSwapDevice(
+            engine, rng.stream("ssd"), sys_config.ssd_costs
+        )
+    else:
+        device = ZRAMSwapDevice(rng.stream("zram"), sys_config.zram_costs)
+    system = MemorySystem(
+        engine,
+        rng,
+        root,
+        device,
+        capacity_frames=capacity,
+        n_cpus=config.n_cpus,
+        costs=sys_config.costs,
+    )
+
+    # Tenant layouts: region-aligned VMA pairs tagged with their memcg.
+    starts: List[Any] = []
+    for i, cg in enumerate(cgroups):
+        store = shape_data[config.shape_index(i)]["store"]
+        index = system.address_space.map_area(
+            f"t{i}-kv-index",
+            store.n_index_pages,
+            PageKind.ANON,
+            entropy=0.45,
+            memcg=cg,
+        )
+        items = system.address_space.map_area(
+            f"t{i}-kv-items",
+            store.n_item_pages,
+            PageKind.ANON,
+            entropy=0.65,
+            memcg=cg,
+        )
+        starts.append((index.start_vpn, items.start_vpn))
+        # Multi-tenant MG-LRU walkers age only their own regions; the
+        # solo case keeps the global walk (bit-identity with run_trial).
+        inner = cg.policy
+        if n > 1 and hasattr(inner, "regions_provider"):
+            inner.regions_provider = (
+                lambda _cg=cg: _cg.regions(system.address_space)
+            )
+
+    # Traffic: Zipf tenant popularity -> exact request shares -> per-
+    # tenant Poisson arrivals at each tenant's share of the fleet rate.
+    pop_rank = rng.stream("fleet", "popularity").permutation(n)
+    weights = [
+        1.0 / float(pop_rank[i] + 1) ** config.tenant_zipf_theta
+        for i in range(n)
+    ]
+    shares = apportion_requests(config.n_requests_total, weights)
+    states = [_TenantState() for _ in range(n)]
+    w_sum = sum(weights)
+    for i in range(n):
+        if shares[i] == 0:
+            continue
+        rate_rps = config.arrival_rate_rps * weights[i] / w_sum
+        gaps = rng.stream("fleet", "arrivals", i).exponential(
+            scale=1e9 / rate_rps, size=shares[i]
+        )
+        arrivals = np.cumsum(gaps).astype(np.int64)
+        shape = config.shape_of(i)
+        data = shape_data[config.shape_index(i)]
+        system.spawn_app_thread(
+            _tenant_body(
+                system,
+                i,
+                shape,
+                data["store"],
+                data["sampler"],
+                arrivals,
+                starts[i][0],
+                starts[i][1],
+                config.slo_ns,
+                states[i],
+            ),
+            f"tenant-{i}",
+        )
+
+    system.start()
+    runtime_ns = engine.run()
+    audit_usage(system)  # ledger invariant: sum(usage) == frames used
+
+    stats = system.stats
+    tenants = []
+    for i, cg in enumerate(cgroups):
+        state = states[i]
+        tenants.append(
+            {
+                "tenant": i,
+                "shape": config.shape_index(i),
+                "requests": state.requests_done,
+                "footprint_pages": footprints[i],
+                "usage_pages": cg.usage_pages,
+                "limit_pages": cg.limit_pages,
+                "fault_hist": state.fault_hist._to_obj(),
+                "request_hist": state.request_hist._to_obj(),
+                "slo_violations": state.slo_violations,
+                "major_faults": state.major_faults,
+                "minor_faults": state.minor_faults,
+                "memcg": cg.stats.snapshot(),
+            }
+        )
+    return {
+        "kind": "trial",
+        "format": ROW_FORMAT,
+        "policy": policy_name,
+        "seed": seed,
+        "runtime_ns": int(runtime_ns),
+        "slo_ns": config.slo_ns,
+        "capacity_frames": capacity,
+        "total_footprint_pages": total_footprint,
+        "totals": {
+            "major_faults": int(stats.major_faults),
+            "minor_faults": int(stats.minor_faults),
+            "evictions": int(stats.evictions),
+            "swap_reads": int(system.swap_device.stats.reads),
+            "swap_writes": int(system.swap_device.stats.writes),
+        },
+        "tenants": tenants,
+    }
+
+
+# ----------------------------------------------------------------------
+# Solo-memcg trial (the equivalence harness)
+# ----------------------------------------------------------------------
+
+def run_memcg_trial(
+    workload_name: str, system_config: SystemConfig, seed: int
+):
+    """``run_trial`` with the whole workload inside one unlimited memcg.
+
+    The memcg layer's zero-cost contract says this is bit-identical to
+    the plain trial: a single unlimited cgroup delegates reclaim
+    verbatim, scopes no RNG streams, and keeps the global MG-LRU walk.
+    The equivalence test asserts exactly that.
+    """
+    from repro.core.results import TrialResult
+    from repro.workloads import make_workload
+
+    engine = Engine()
+    rng = RngTree(seed)
+    workload = make_workload(workload_name)
+    dataset_rng = RngTree(DATASET_SEED).subtree("dataset", workload_name)
+    footprint = workload.prepare(dataset_rng)
+    capacity = max(64, int(footprint * system_config.capacity_ratio))
+    inner = make_policy(system_config.policy)
+    cg = MemCgroup(name="solo", policy=inner)
+    root = MemcgPolicy([cg])
+    if system_config.swap == "ssd":
+        device = SSDSwapDevice(
+            engine, rng.stream("ssd"), system_config.ssd_costs
+        )
+    else:
+        device = ZRAMSwapDevice(
+            rng.stream("zram"), system_config.zram_costs
+        )
+    system = MemorySystem(
+        engine,
+        rng,
+        root,
+        device,
+        capacity_frames=capacity,
+        n_cpus=system_config.n_cpus,
+        costs=system_config.costs,
+    )
+    workload.setup(system)
+    cg.adopt(system.address_space)
+    system.start()
+    workload.spawn(system)
+    runtime_ns = engine.run()
+    audit_usage(system)
+    stats = system.stats
+    stats.rmap_walks = system.rmap.walk_count
+    wl_result = workload.result()
+    counters = stats.snapshot()
+    counters["swap_reads"] = system.swap_device.stats.reads
+    counters["swap_writes"] = system.swap_device.stats.writes
+    counters["cpu_utilization"] = system.cpu.utilization()
+    return TrialResult(
+        workload=workload_name,
+        policy=system_config.policy,
+        swap=system_config.swap,
+        capacity_ratio=system_config.capacity_ratio,
+        seed=seed,
+        runtime_ns=runtime_ns,
+        major_faults=stats.major_faults,
+        minor_faults=stats.minor_faults,
+        counters=counters,
+        metrics=wl_result.metrics,
+        latencies_ns=wl_result.latencies_ns,
+        footprint_pages=footprint,
+        capacity_frames=capacity,
+    )

@@ -1,0 +1,28 @@
+"""Linux-style memory control groups for multi-tenant simulation.
+
+A :class:`~repro.memcg.cgroup.MemCgroup` is the accounting and policy
+unit of one tenant: it owns a page-charge counter, the tenant's memory
+limits (``limit`` / ``soft_limit`` / ``low`` / ``min`` protection, all
+in pages), and a *private* replacement-policy instance — the per-cgroup
+lruvec.  The :class:`~repro.memcg.policy.MemcgPolicy` root multiplexes
+the existing :class:`~repro.policies.base.ReplacementPolicy` API over
+those per-cgroup policies, so every policy the paper characterizes
+(clock / mglru variants / fifo / random / opt) runs per-tenant without
+modification, and implements the proportional global reclaimer that
+scans cgroups weighted by their excess over protection.
+
+Charging is threaded through the fault path
+(:meth:`repro.mm.system.MemorySystem.handle_fault`): a page faulting
+into a limited cgroup first reclaims *locally* from that cgroup's own
+lruvec (the kernel's charge-time ``try_charge`` reclaim), so one
+tenant's overcommit becomes that tenant's latency, not its neighbours'.
+Uncharging happens at the single point a frame is freed
+(:meth:`~repro.mm.system.MemorySystem._finish_eviction`), which keeps
+the ledger invariant — the sum of per-cgroup usage equals the global
+count of allocated frames — true at every event boundary.
+"""
+
+from repro.memcg.cgroup import MemCgroup, MemCgroupStats
+from repro.memcg.policy import MemcgPolicy, audit_usage
+
+__all__ = ["MemCgroup", "MemCgroupStats", "MemcgPolicy", "audit_usage"]

@@ -118,6 +118,42 @@ def cell_summary_rows(dump: GridDump) -> List[List[str]]:
 
 CELL_HEADERS = ["cell", "trials", "accesses", "acc/s", "fault p50", "fault p99"]
 INVENTORY_HEADERS = ["metric", "kind", "unit", "series", "count", "value"]
+CACHE_HEADERS = ["layer", "hits", "misses", "hit rate", "stores", "errors"]
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> int:
+    family = registry.get(name)
+    if family is None or not family.children:
+        return 0
+    return int(family.aggregate().value)
+
+
+def cache_behavior_rows(registry: MetricsRegistry) -> List[List[str]]:
+    """Dataset-cache rows (process memo + disk trace cache), or ``[]``
+    when the dump predates the cache counters."""
+    rows = []
+    for layer, prefix, extras in (
+        ("dataset memo", "repro_cache_dataset_memo", False),
+        ("trace cache", "repro_cache_tracecache", True),
+    ):
+        hits = _counter_total(registry, f"{prefix}_hits_total")
+        misses = _counter_total(registry, f"{prefix}_misses_total")
+        if hits == 0 and misses == 0:
+            continue
+        total = hits + misses
+        rate = f"{hits / total:.1%}" if total else "-"
+        stores = (
+            str(_counter_total(registry, f"{prefix}_stores_total"))
+            if extras
+            else "-"
+        )
+        errors = (
+            str(_counter_total(registry, f"{prefix}_errors_total"))
+            if extras
+            else "-"
+        )
+        rows.append([layer, str(hits), str(misses), rate, stores, errors])
+    return rows
 
 
 def inventory_rows(registry: MetricsRegistry) -> List[List[str]]:
@@ -179,6 +215,12 @@ def render_markdown(dump: GridDump, title: str = "Metrics report") -> str:
     parts.append("")
     parts.append(_md_table(CELL_HEADERS, cell_summary_rows(dump)))
     parts.append("")
+    cache_rows = cache_behavior_rows(dump.merged)
+    if cache_rows:
+        parts.append("## Dataset cache behavior")
+        parts.append("")
+        parts.append(_md_table(CACHE_HEADERS, cache_rows))
+        parts.append("")
     parts.append("## Metric inventory (merged)")
     parts.append("")
     parts.append(_md_table(INVENTORY_HEADERS, inventory_rows(dump.merged)))
@@ -224,6 +266,12 @@ def render_html(dump: GridDump, title: str = "Metrics report") -> str:
         f"<h1>{html.escape(title)}</h1>{meta}"
         "<h2>Cells</h2>"
         + _html_table(CELL_HEADERS, cell_summary_rows(dump))
+        + (
+            "<h2>Dataset cache behavior</h2>"
+            + _html_table(CACHE_HEADERS, cache_behavior_rows(dump.merged))
+            if cache_behavior_rows(dump.merged)
+            else ""
+        )
         + "<h2>Metric inventory (merged)</h2>"
         + _html_table(INVENTORY_HEADERS, inventory_rows(dump.merged))
         + "</body></html>\n"

@@ -44,7 +44,17 @@ from repro.trace.vmstat import DERIVED_COUNTERS, GAUGES, MM_COUNTERS
 class MetricsSession:
     """Owns one trial's recorders and registry from start to finalize."""
 
-    def __init__(self, config: MetricsConfig, system: Any) -> None:
+    def __init__(
+        self,
+        config: MetricsConfig,
+        system: Any,
+        cache_baseline: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """``cache_baseline``: a :meth:`snapshot_cache_stats` taken at
+        trial start.  Datasets are prepared *before* the system (and so
+        this session) exists, so the caller must capture the baseline
+        first for the trial's own dataset traffic to show in the delta;
+        when omitted, construction time is the baseline."""
         self.config = config
         self.system = system
         self.registry = MetricsRegistry()
@@ -52,7 +62,34 @@ class MetricsSession:
         self._flushers: List[Callable[[], None]] = []
         self._attached = False
         self._finalized = False
+        self._cache_baseline = (
+            cache_baseline
+            if cache_baseline is not None
+            else self.snapshot_cache_stats()
+        )
         self._build_recorders()
+
+    @staticmethod
+    def snapshot_cache_stats() -> Dict[str, int]:
+        """Current dataset-cache counters (tracecache + process memo).
+
+        The session keeps a baseline from construction time and imports
+        only the *delta* at finalize, so per-trial registries report the
+        cache traffic of that trial alone even though the underlying
+        counters are process-global.  Imported lazily:
+        ``repro.workloads`` pulls in the mm stack, and importing it at
+        module scope would create a cycle through ``repro.metrics``.
+        """
+        from repro.core import tracecache
+        from repro.workloads import datasets
+
+        snap = {
+            f"tracecache_{k}": v for k, v in tracecache.STATS.snapshot().items()
+        }
+        memo = datasets.MEMO_STATS.snapshot()
+        snap["dataset_memo_hits"] = memo["hits"]
+        snap["dataset_memo_misses"] = memo["misses"]
+        return snap
 
     def _buffer_scalars(self, hist: Any) -> List[int]:
         """A raw-observation buffer flushed into *hist* at finalize."""
@@ -270,6 +307,7 @@ class MetricsSession:
             ).inc(int(runtime_ns))
             if self.config.import_counters:
                 self._import_final_counters()
+                self._import_cache_counters()
             if meta:
                 reg.meta.update(meta)
             reg.meta["runtime_ns"] = int(runtime_ns)
@@ -313,3 +351,31 @@ class MetricsSession:
                 help=f"Trial-end MM gauge '{name}' "
                 "(merge keeps the max across trials).",
             ).set(gauges[name])
+
+    _CACHE_COUNTER_HELP = {
+        "tracecache_hits": "Disk trace-cache loads served from cache.",
+        "tracecache_misses": "Disk trace-cache lookups that missed.",
+        "tracecache_stores": "Datasets written to the disk trace cache.",
+        "tracecache_evictions": "Trace-cache entries evicted by the "
+        "size-budget sweep.",
+        "tracecache_errors": "Trace-cache I/O errors (cache degraded "
+        "to pass-through).",
+        "dataset_memo_hits": "get_dataset calls served from the "
+        "process memo.",
+        "dataset_memo_misses": "get_dataset calls that fell through "
+        "the process memo (to shm, disk, or a rebuild).",
+    }
+
+    def _import_cache_counters(self) -> None:
+        """Import the trial's dataset-cache deltas (satellite of the
+        cross-trial fast lane: cache behavior belongs in reports, not
+        only in bench assertions)."""
+        reg = self.registry
+        current = self.snapshot_cache_stats()
+        for name, value in current.items():
+            delta = value - self._cache_baseline.get(name, 0)
+            reg.counter(
+                f"repro_cache_{name}_total",
+                help=self._CACHE_COUNTER_HELP.get(name, name),
+                unit="",
+            ).inc(max(0, int(delta)))

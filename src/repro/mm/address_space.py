@@ -95,6 +95,7 @@ class AddressSpace:
         kind: PageKind = PageKind.ANON,
         entropy: float = 0.45,
         align_region: bool = True,
+        memcg=None,
     ) -> VMArea:
         """Create a VMA of ``n_pages`` and install its pages.
 
@@ -103,6 +104,13 @@ class AddressSpace:
         region boundary, as allocators align large mappings in practice —
         this also makes the bloom-filter region granularity meaningful
         per area.
+
+        ``memcg``: optional :class:`~repro.memcg.cgroup.MemCgroup` that
+        owns the area — every page is tagged at map time, so the fault
+        path charges the right ledger from the first touch.  Region
+        alignment then also guarantees a leaf page-table region never
+        spans two cgroups, which is what lets per-cgroup MG-LRU walkers
+        scan only their own regions.
         """
         if name in self._vmas:
             raise WorkloadError(f"VMA {name!r} already mapped")
@@ -112,6 +120,8 @@ class AddressSpace:
             self.page_table.map_page(Page(vpn, kind=kind, entropy=entropy))
         self._vmas[name] = vma
         self._next_free_vpn = vma.end_vpn
+        if memcg is not None:
+            memcg.adopt_area(vma, self)
         return vma
 
     # ------------------------------------------------------------------

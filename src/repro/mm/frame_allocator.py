@@ -84,24 +84,38 @@ class FrameAllocator:
     # Allocation
     # ------------------------------------------------------------------
 
-    def alloc(self) -> Optional[int]:
+    def alloc(self, charge=None) -> Optional[int]:
         """Take a free frame, or ``None`` if none remain.
 
         Watermark policy is the caller's job: the allocator will hand out
         its very last frame if asked.
+
+        ``charge`` is an optional :class:`~repro.memcg.cgroup.MemCgroup`
+        charged one page *atomically with the grant* — the ledger and
+        the free list move in the same call, so the multi-tenant
+        invariant (sum of cgroup usage == ``n_used``) can never observe
+        a half-applied transition.
         """
         if not self._free:
             return None
         self.total_allocations += 1
         frame = self._free.pop()
+        if charge is not None:
+            charge.charge()
         if _tp.mm_watermark is not None:
             self._trace_watermark()
         return frame
 
-    def free(self, frame: int) -> None:
-        """Return *frame* to the free list."""
+    def free(self, frame: int, uncharge=None) -> None:
+        """Return *frame* to the free list.
+
+        ``uncharge``: optional cgroup whose ledger releases one page
+        atomically with the free (the counterpart of ``alloc(charge=)``).
+        """
         if not 0 <= frame < self.capacity:
             raise SimulationError(f"freeing bogus frame {frame}")
+        if uncharge is not None:
+            uncharge.uncharge()
         self._free.append(frame)
         if len(self._free) > self.capacity:
             raise SimulationError("double free detected (free list overflow)")

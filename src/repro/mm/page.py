@@ -48,6 +48,8 @@ class Page:
         "region",
         "swap_slot",
         "entropy",
+        # owning memory cgroup (multi-tenant trials; None = uncontrolled)
+        "memcg",
         # flat PTE-state view (see mm/page_table.PTEFlatState)
         "_flat",
         "_flat_idx",
@@ -83,6 +85,9 @@ class Page:
         #: Compressibility proxy in [0, 1] (0 = all zeros, 1 = random);
         #: used by the ZRAM size model.
         self.entropy = entropy
+        #: Owning :class:`~repro.memcg.cgroup.MemCgroup`, or None when
+        #: the trial runs without memory control groups.
+        self.memcg = None
 
         # Backpointer into the page table's dense PTE-state arrays; None
         # until the table builds its flat view the first time.

@@ -127,6 +127,10 @@ class MemorySystem:
         #: the full triage machinery per fault.
         self._direct_reclaim_active = False
         self._direct_reclaim_done = OneShotEvent("direct-reclaim-done")
+        #: Cgroup whose fault is driving the current (serialized) direct
+        #: reclaim round — the steal-attribution anchor the memcg root
+        #: policy reads.  None outside direct reclaim and for kswapd.
+        self._reclaim_requester = None
         self._started = False
 
         policy.bind(self)
@@ -368,7 +372,14 @@ class MemorySystem:
         try:
             if charge_overhead:
                 yield Compute(self.costs.fault_overhead_ns)
-            frame = yield from self._alloc_frame()
+            cg = page.memcg
+            if cg is not None and cg.limit_pages is not None:
+                # Charge-time local reclaim (the kernel's try_charge
+                # loop): an over-limit cgroup reclaims from its own
+                # lruvec before taking a frame, so tenant overcommit
+                # costs the tenant, not the fleet.
+                yield from cg.reclaim_to_limit(self)
+            frame = yield from self._alloc_frame(cg)
             major = page.swap_slot is not None
             if major:
                 self.stats.major_faults += 1
@@ -410,7 +421,7 @@ class MemorySystem:
         if self.frames.below_low():
             self._kswapd_waker.wake()
 
-    def _alloc_frame(self) -> Iterator[Any]:
+    def _alloc_frame(self, memcg=None) -> Iterator[Any]:
         """Generator: obtain a free frame, entering direct reclaim when
         the allocator is at or below its min watermark.
 
@@ -420,11 +431,17 @@ class MemorySystem:
         allocation against the frames it freed.  One walker frees a
         whole triage block per round — enough for every waiter — so
         piling more walkers onto the same lists only multiplies scan
-        machinery, not reclaim throughput."""
+        machinery, not reclaim throughput.
+
+        ``memcg``: the faulting page's cgroup.  A successful grant
+        charges it atomically (``frames.alloc(charge=)``), and while
+        this thread owns the serialized reclaim round the cgroup is
+        published as ``_reclaim_requester`` so the memcg root policy
+        can attribute cross-tenant steals."""
         retries = 0
         while True:
             if not self.frames.below_min():
-                frame = self.frames.alloc()
+                frame = self.frames.alloc(charge=memcg)
                 if frame is not None:
                     return frame
             if self._direct_reclaim_active:
@@ -433,12 +450,14 @@ class MemorySystem:
             # Direct reclaim: the faulting thread pays for reclaim itself.
             start = self.engine.now
             self._direct_reclaim_active = True
+            self._reclaim_requester = memcg
             try:
                 reclaimed = yield from self.policy.reclaim(
                     RECLAIM_BATCH, direct=True
                 )
             finally:
                 self._direct_reclaim_active = False
+                self._reclaim_requester = None
                 done = self._direct_reclaim_done
                 self._direct_reclaim_done = OneShotEvent(
                     "direct-reclaim-done"
@@ -469,7 +488,7 @@ class MemorySystem:
                     yield Sleep(100 * US)
             else:
                 retries = 0
-            frame = self.frames.alloc()
+            frame = self.frames.alloc(charge=memcg)
             if frame is not None:
                 return frame
 
@@ -631,12 +650,13 @@ class MemorySystem:
             yield WaitEvent(self._eviction_batch_done)
 
     def _finish_eviction(self, page: Page) -> None:
-        """Unmap a victim and return its frame to the allocator."""
+        """Unmap a victim and return its frame to the allocator (the
+        page's cgroup, if any, uncharges atomically with the free)."""
         page.present = False
         frame = page.frame
         page.frame = None
         self.rmap.remove(frame)
-        self.frames.free(frame)
+        self.frames.free(frame, uncharge=page.memcg)
         self.stats.evictions += 1
 
     # ------------------------------------------------------------------

@@ -42,6 +42,12 @@ class ReplacementPolicy(abc.ABC):
 
     def __init__(self) -> None:
         self.system: Optional["MemorySystem"] = None
+        #: Disambiguator appended to this instance's named RNG stream
+        #: paths when several instances of one policy share a trial
+        #: (per-cgroup lruvecs).  ``None`` — the default, and always the
+        #: single-instance case — keeps the historical unscoped paths,
+        #: so existing trials replay their draws exactly.
+        self.rng_scope: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Lifecycle

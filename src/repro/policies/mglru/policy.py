@@ -88,6 +88,12 @@ class MGLRUPolicy(ReplacementPolicy):
         self._tick_armed = False
         self._evictions_at_last_walk = 0
         self._scan_rng = None
+        #: Callable returning the leaf regions this instance's aging
+        #: walker may scan.  ``None`` (single-lruvec trials) means the
+        #: whole page table; a per-cgroup instance gets its cgroup's
+        #: regions so aging never promotes a neighbour tenant's pages
+        #: into foreign generation lists.
+        self.regions_provider = None
         self.name = {
             ScanMode.BLOOM: "mglru",
             ScanMode.ALL: "mglru-scan-all",
@@ -103,7 +109,14 @@ class MGLRUPolicy(ReplacementPolicy):
 
     def bind(self, system) -> None:
         super().bind(system)
-        self._scan_rng = system.rng.stream("policy", "mglru", "scan")
+        if self.rng_scope is None:
+            self._scan_rng = system.rng.stream("policy", "mglru", "scan")
+        else:
+            # Per-cgroup instance: scope the scan-rand stream so sibling
+            # lruvecs' region decisions are independent.
+            self._scan_rng = system.rng.stream(
+                "policy", "mglru", "scan", self.rng_scope
+            )
 
     def spawn_daemons(self) -> None:
         assert self.system is not None
@@ -274,7 +287,11 @@ class MGLRUPolicy(ReplacementPolicy):
         # matter.
         pending_ns = 0
         batch_ns = 32 * costs.pte_scan_ns * 64
-        for region in system.address_space.page_table.regions():
+        if self.regions_provider is None:
+            walk_regions = system.address_space.page_table.regions()
+        else:
+            walk_regions = self.regions_provider()
+        for region in walk_regions:
             pending_ns += costs.bloom_op_ns
             if not self._should_scan_region(region.index):
                 skipped += 1

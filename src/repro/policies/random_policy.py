@@ -31,7 +31,14 @@ class RandomPolicy(ReplacementPolicy):
 
     def bind(self, system) -> None:
         super().bind(system)
-        self._rng = system.rng.stream("policy", "random")
+        if self.rng_scope is None:
+            self._rng = system.rng.stream("policy", "random")
+        else:
+            # Per-cgroup instance: a scoped stream keeps sibling
+            # lruvecs' victim picks statistically independent.
+            self._rng = system.rng.stream(
+                "policy", "random", self.rng_scope
+            )
 
     def on_page_inserted(self, page: Page, shadow: Optional[ShadowEntry]) -> None:
         if page.vpn in self._index:

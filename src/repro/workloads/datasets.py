@@ -44,7 +44,33 @@ from repro.core import tracecache
 from repro.workloads.shm import ShmDatasetHandle, attach_dataset
 
 #: Process-memo capacity (the paper's five workloads fit with room).
+#: Fleet tenant shapes share entries too — distinct shapes per fleet are
+#: expected to stay in the single digits.
 MEMO_CAP = 8
+
+
+@dataclass
+class MemoStats:
+    """Process-global memo counters, mirroring ``tracecache.STATS``.
+
+    ``hits`` counts :func:`get_dataset` calls served from the process
+    memo; ``misses`` counts calls that fell through to shm/disk/build.
+    The metrics plane imports per-trial deltas of these so cache
+    behavior shows up in ``report`` output, not just bench assertions.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+
+
+#: Module-level memo stats (reset by tests; sampled by MetricsSession).
+MEMO_STATS = MemoStats()
 
 
 @dataclass(frozen=True)
@@ -125,10 +151,13 @@ def get_dataset(spec: DatasetSpec, build: Callable[[], Dataset]) -> Dataset:
         # process (cleared on key change); everything else rebuilt per
         # trial.  No shm attach, no disk cache.
         if not spec.legacy_cached:
+            MEMO_STATS.misses += 1
             return _freeze(build())
         hit = _MEMO.get(key)
         if hit is not None:
+            MEMO_STATS.hits += 1
             return hit[1]
+        MEMO_STATS.misses += 1
         arrays = _freeze(build())
         _MEMO.clear()
         _MEMO[key] = (spec, arrays)
@@ -136,8 +165,10 @@ def get_dataset(spec: DatasetSpec, build: Callable[[], Dataset]) -> Dataset:
 
     hit = _MEMO.get(key)
     if hit is not None:
+        MEMO_STATS.hits += 1
         _MEMO.move_to_end(key)
         return hit[1]
+    MEMO_STATS.misses += 1
     arrays = None
     if shm_enabled():
         handle = _SHM_MANIFEST.get(key)

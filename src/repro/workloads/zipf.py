@@ -28,18 +28,29 @@ class ZipfSampler:
         n: int,
         theta: float = 0.99,
         permutation: Optional[np.ndarray] = None,
+        cdf: Optional[np.ndarray] = None,
     ) -> None:
         """``permutation[r]`` maps popularity rank *r* to an item index;
-        identity when omitted."""
+        identity when omitted.  ``cdf`` injects a precomputed CDF array
+        (shape ``(n,)``, as :attr:`cdf` exposes) so dataset-cached
+        samplers skip the O(n) harmonic-sum rebuild."""
         if n < 1:
             raise ConfigError("zipf needs at least one item")
         if theta < 0:
             raise ConfigError("zipf exponent must be >= 0")
         self.n = n
         self.theta = theta
-        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
+        if cdf is not None:
+            cdf = np.asarray(cdf, dtype=np.float64)
+            if cdf.shape != (n,):
+                raise ConfigError("cdf must have shape (n,)")
+            self._cdf = cdf
+        else:
+            weights = 1.0 / np.power(
+                np.arange(1, n + 1, dtype=np.float64), theta
+            )
+            self._cdf = np.cumsum(weights)
+            self._cdf /= self._cdf[-1]
         if permutation is not None:
             permutation = np.asarray(permutation)
             if permutation.shape != (n,):
@@ -47,6 +58,11 @@ class ZipfSampler:
             self._perm = permutation
         else:
             self._perm = None
+
+    @property
+    def cdf(self) -> np.ndarray:
+        """The normalized CDF array (suitable for the ``cdf=`` kwarg)."""
+        return self._cdf
 
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Draw ``size`` item indices (vectorized exact inversion)."""

@@ -1,0 +1,150 @@
+"""Fleet trials: determinism, limits, sweeps, reporting, dataset reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet import FleetConfig, JsonlSink, TenantShape, run_fleet_trial
+from repro.fleet.report import aggregate, build_registry, render_markdown
+from repro.fleet.runner import pending_grid, run_sweep
+from repro.fleet.sink import load_rows
+from repro.workloads import datasets
+
+
+def tiny_config(**overrides) -> FleetConfig:
+    base = dict(
+        n_tenants=3,
+        shapes=(TenantShape(n_items=200),),
+        capacity_ratio=0.5,
+        n_requests_total=600,
+        arrival_rate_rps=80_000.0,
+        slo_ns=2_000_000,
+        n_cpus=4,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def test_fleet_trial_deterministic():
+    config = tiny_config()
+    a = run_fleet_trial(config, "clock", 4242)
+    b = run_fleet_trial(config, "clock", 4242)
+    assert a == b
+    assert a != run_fleet_trial(config, "clock", 4243)
+
+
+def test_requests_split_exactly_and_all_served():
+    config = tiny_config()
+    row = run_fleet_trial(config, "clock", 7)
+    served = sum(t["requests"] for t in row["tenants"])
+    assert served == config.n_requests_total
+    for tenant in row["tenants"]:
+        hist = tenant["request_hist"]
+        assert hist["count"] == tenant["requests"]
+        assert tenant["slo_violations"] <= tenant["requests"]
+
+
+def test_hard_limits_enforced():
+    config = tiny_config(capacity_ratio=1.0, limit_ratio=0.4)
+    row = run_fleet_trial(config, "clock", 7)
+    for tenant in row["tenants"]:
+        assert tenant["usage_pages"] <= tenant["limit_pages"]
+    assert any(
+        t["memcg"]["local_reclaims"] > 0 for t in row["tenants"]
+    )
+
+
+def test_global_pressure_attributes_steals():
+    config = tiny_config(capacity_ratio=0.4)
+    row = run_fleet_trial(config, "mglru", 11)
+    stolen = sum(t["memcg"]["stolen_from"] for t in row["tenants"])
+    assert stolen > 0
+
+
+def test_shared_shapes_build_one_dataset():
+    datasets.clear_process_state()
+    datasets.MEMO_STATS.reset()
+    config = tiny_config(n_tenants=6, shapes=(TenantShape(n_items=200),))
+    run_fleet_trial(config, "clock", 3)
+    first = datasets.MEMO_STATS.snapshot()
+    # Six tenants, one distinct shape: exactly one memo fill.
+    assert first["misses"] == 1
+    run_fleet_trial(config, "clock", 4)
+    second = datasets.MEMO_STATS.snapshot()
+    assert second["misses"] == first["misses"]
+    assert second["hits"] == first["hits"] + 1
+
+
+def test_sweep_resume_and_parallel_match(tmp_path):
+    config = tiny_config()
+    policies = ["clock", "mglru"]
+    seeds = [100, 101]
+
+    serial_path = str(tmp_path / "serial.jsonl")
+    with JsonlSink(serial_path, config.to_dict()) as sink:
+        # Interrupt after two trials, then resume the rest.
+        ran = run_sweep(config, policies, seeds, sink, jobs=1, max_trials=2)
+        assert ran == 2
+        assert len(pending_grid(sink, policies, seeds)) == 2
+        ran = run_sweep(config, policies, seeds, sink, jobs=1)
+        assert ran == 2
+        assert pending_grid(sink, policies, seeds) == []
+
+    parallel_path = str(tmp_path / "parallel.jsonl")
+    with JsonlSink(parallel_path, config.to_dict()) as sink:
+        run_sweep(config, policies, seeds, sink, jobs=2)
+
+    sh, srows = load_rows(serial_path)
+    ph, prows = load_rows(parallel_path)
+    key = lambda r: (r["policy"], r["seed"])  # noqa: E731
+    assert sorted(srows, key=key) == sorted(prows, key=key)
+    # Reports are order-independent: byte-identical across executions.
+    assert render_markdown(sh, srows) == render_markdown(ph, prows)
+
+
+def test_report_aggregates_and_tenant_label(tmp_path):
+    config = tiny_config()
+    rows = [
+        run_fleet_trial(config, policy, seed)
+        for policy in ("clock", "mglru")
+        for seed in (5, 6)
+    ]
+    groups = aggregate(rows)
+    assert set(groups) == {"clock", "mglru"}
+    for per_tenant in groups.values():
+        assert set(per_tenant) == {0, 1, 2}
+        total = sum(a.requests for a in per_tenant.values())
+        assert total == 2 * config.n_requests_total  # two seeds
+
+    registry = build_registry(rows)
+    dump = registry.to_dict()
+    fam = next(
+        m for m in dump["metrics"] if m["name"] == "repro_fleet_request_ns"
+    )
+    assert "tenant" in fam["labelnames"]
+    tenants = {
+        dict(zip(fam["labelnames"], s["labels"]))["tenant"]
+        for s in fam["series"]
+    }
+    assert tenants == {"0", "1", "2"}
+    # Prometheus exposition round-trips the tenant label too.
+    assert 'tenant="0"' in registry.to_prom_text()
+
+    header = {"config": config.to_dict()}
+    text = render_markdown(header, rows)
+    assert "Policy comparison" in text
+    assert "| clock |" in text and "| mglru |" in text
+
+
+def test_config_validation_and_roundtrip():
+    with pytest.raises(ConfigError):
+        FleetConfig(n_tenants=0)
+    with pytest.raises(ConfigError):
+        FleetConfig(arrival_rate_rps=0)
+    with pytest.raises(ConfigError):
+        FleetConfig(min_ratio=0.5, low_ratio=0.2)
+    with pytest.raises(ConfigError):
+        TenantShape(read_fraction=1.5)
+    config = tiny_config(limit_ratio=0.7)
+    assert FleetConfig.from_dict(config.to_dict()) == config

@@ -1,0 +1,99 @@
+"""JSONL sink: header guard, resume, torn-tail tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fleet.sink import JsonlSink, load_rows
+
+
+def _row(policy: str, seed: int) -> dict:
+    return {
+        "kind": "trial",
+        "policy": policy,
+        "seed": seed,
+        "tenants": [],
+        "totals": {},
+    }
+
+
+@pytest.fixture
+def config_dict() -> dict:
+    return {"n_tenants": 4, "capacity_ratio": 0.5}
+
+
+def test_fresh_file_writes_header(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with JsonlSink(path, config_dict) as sink:
+        assert sink.completed == set()
+        sink.append(_row("clock", 1))
+    lines = open(path).read().splitlines()
+    header = json.loads(lines[0])
+    assert header["kind"] == "header"
+    assert header["format"] == "repro.fleet/v1"
+    assert header["config"] == config_dict
+    assert json.loads(lines[1])["policy"] == "clock"
+
+
+def test_reopen_recovers_completed_set(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with JsonlSink(path, config_dict) as sink:
+        sink.append(_row("clock", 1))
+        sink.append(_row("mglru", 2))
+    with JsonlSink(path, config_dict) as sink:
+        assert sink.completed == {("clock", 1), ("mglru", 2)}
+        sink.append(_row("clock", 3))
+    _, rows = load_rows(path)
+    assert len(rows) == 3
+
+
+def test_torn_tail_is_dropped_and_rerun(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with JsonlSink(path, config_dict) as sink:
+        sink.append(_row("clock", 1))
+        sink.append(_row("clock", 2))
+    # Simulate a crash mid-append: truncate into the last row.
+    raw = open(path).read()
+    with open(path, "w") as fh:
+        fh.write(raw[:-20])
+    with JsonlSink(path, config_dict) as sink:
+        assert sink.completed == {("clock", 1)}  # torn row reruns
+        sink.append(_row("clock", 2))
+    _, rows = load_rows(path)
+    assert {(r["policy"], r["seed"]) for r in rows} == {
+        ("clock", 1),
+        ("clock", 2),
+    }
+
+
+def test_mid_file_corruption_rejected(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with JsonlSink(path, config_dict) as sink:
+        sink.append(_row("clock", 1))
+    with open(path, "a") as fh:
+        fh.write("{corrupt\n")
+        fh.write(json.dumps(_row("clock", 2)) + "\n")
+    with pytest.raises(ConfigError, match="corrupt"):
+        JsonlSink(path, config_dict).open()
+    with pytest.raises(ConfigError, match="corrupt"):
+        load_rows(path)
+
+
+def test_config_digest_mismatch_rejected(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with JsonlSink(path, config_dict) as sink:
+        sink.append(_row("clock", 1))
+    other = dict(config_dict, n_tenants=8)
+    with pytest.raises(ConfigError, match="digest"):
+        JsonlSink(path, other).open()
+
+
+def test_foreign_file_rejected(tmp_path, config_dict):
+    path = str(tmp_path / "out.jsonl")
+    with open(path, "w") as fh:
+        fh.write(json.dumps({"kind": "something-else"}) + "\n")
+    with pytest.raises(ConfigError, match="repro.fleet/v1"):
+        JsonlSink(path, config_dict).open()

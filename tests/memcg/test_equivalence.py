@@ -1,0 +1,53 @@
+"""Solo-memcg bit-identity: one unlimited cgroup costs nothing.
+
+The memcg layer's zero-cost contract — a single unlimited cgroup
+delegates reclaim verbatim, scopes no RNG streams, and keeps the
+global MG-LRU walk — means wrapping an entire workload in one cgroup
+must reproduce the plain trial to the bit.  This is the acceptance
+criterion that lets every historical single-process result stand
+unchanged with the memcg layer merged.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.fleet.trial import run_memcg_trial
+from repro.workloads.tpch import TPCHParams, TPCHWorkload
+
+
+@pytest.fixture(autouse=True)
+def tiny_tpch(monkeypatch):
+    """Shrink TPC-H so a full trial takes well under a second."""
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES,
+        "tpch",
+        lambda: TPCHWorkload(
+            TPCHParams(
+                table_pages=96,
+                hash_pages=96,
+                shuffle_pages=64,
+                n_threads=4,
+                n_queries=1,
+            )
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "policy,swap",
+    [("clock", "zram"), ("mglru", "zram"), ("mglru", "ssd"), ("random", "zram")],
+)
+def test_solo_memcg_trial_bit_identical(policy, swap):
+    config = SystemConfig(policy=policy, swap=swap, capacity_ratio=0.5)
+    plain = run_trial("tpch", config, seed=4242)
+    wrapped = run_memcg_trial("tpch", config, seed=4242)
+    assert plain == wrapped
+    assert plain.runtime_ns == wrapped.runtime_ns
+    assert plain.major_faults == wrapped.major_faults
+    assert plain.minor_faults == wrapped.minor_faults
+    assert plain.counters["evictions"] == wrapped.counters["evictions"]
+    assert plain.counters["hits"] == wrapped.counters["hits"]

@@ -1,0 +1,130 @@
+"""Ledger invariants under pressure: charges mirror the frame pool.
+
+The atomic-ledger contract: charges land in the same simulator event as
+the frame grant and uncharges in the same event as the frame free, so
+``sum(cg.usage_pages) == frames.n_used`` holds at every event boundary.
+These tests drive a two-tenant system through sustained reclaim and
+audit the ledger after *every* global reclaim round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memcg import MemCgroup, MemcgPolicy, audit_usage
+from repro.mm.page import PageKind
+from repro.mm.system import MemorySystem
+from repro.policies import make_policy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngTree
+from repro.swapdev import ZRAMSwapDevice
+
+
+def _two_tenant_system(
+    policy_name: str,
+    capacity: int = 96,
+    pages_per_tenant: int = 128,
+    limit_pages=None,
+):
+    engine = Engine()
+    rng = RngTree(77)
+    cgroups = [
+        MemCgroup(
+            name=f"t{i}",
+            policy=make_policy(policy_name),
+            limit_pages=limit_pages,
+        )
+        for i in range(2)
+    ]
+    root = MemcgPolicy(cgroups)
+    system = MemorySystem(
+        engine,
+        rng,
+        root,
+        ZRAMSwapDevice(rng.stream("zram")),
+        capacity_frames=capacity,
+        n_cpus=4,
+    )
+    vmas = [
+        system.address_space.map_area(
+            f"t{i}-heap", pages_per_tenant, PageKind.ANON, memcg=cgroups[i]
+        )
+        for i in range(2)
+    ]
+    return engine, system, root, cgroups, vmas
+
+
+def _audit_after_every_round(system, root):
+    """Wrap the root reclaimer so each finished round audits the ledger."""
+    original = root.reclaim
+    rounds = []
+
+    def audited(nr_pages, direct):
+        result = yield from original(nr_pages, direct)
+        audit_usage(system)
+        rounds.append(result)
+        return result
+
+    root.reclaim = audited
+    return rounds
+
+
+def _touch_loop(system, vma, sweeps, stride=1):
+    vpns = np.arange(vma.start_vpn, vma.end_vpn, stride)
+    for _ in range(sweeps):
+        yield from system.access_run(
+            vpns, write=True, compute_ns_per_access=200
+        )
+
+
+@pytest.mark.parametrize("policy_name", ["clock", "mglru", "fifo", "random"])
+def test_ledger_matches_frames_after_every_reclaim_round(policy_name):
+    engine, system, root, cgroups, vmas = _two_tenant_system(policy_name)
+    rounds = _audit_after_every_round(system, root)
+    system.start()
+    for i, vma in enumerate(vmas):
+        system.spawn_app_thread(_touch_loop(system, vma, 3), f"t{i}")
+    engine.run()
+    # Pressure actually happened (capacity < working set) and every
+    # round's audit passed without raising.
+    assert sum(rounds) > 0
+    audit_usage(system)
+    assert sum(cg.usage_pages for cg in cgroups) == system.frames.n_used
+
+
+def test_ledger_holds_with_hard_limits_and_local_reclaim():
+    engine, system, root, cgroups, vmas = _two_tenant_system(
+        "clock", capacity=256, limit_pages=48
+    )
+    system.start()
+    for i, vma in enumerate(vmas):
+        system.spawn_app_thread(_touch_loop(system, vma, 3), f"t{i}")
+    engine.run()
+    audit_usage(system)
+    for cg in cgroups:
+        assert cg.usage_pages <= 48
+        assert cg.stats.local_reclaims > 0
+        assert cg.stats.peak_usage_pages <= 48
+
+
+def test_audit_detects_injected_drift():
+    engine, system, root, cgroups, vmas = _two_tenant_system("clock")
+    system.start()
+    system.spawn_app_thread(_touch_loop(system, vmas[0], 1), "t0")
+    engine.run()
+    audit_usage(system)
+    cgroups[0].charge(1)  # corrupt the ledger on purpose
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="ledger drift"):
+        audit_usage(system)
+
+
+def test_audit_requires_memcg_policy():
+    from repro.errors import ConfigError
+    from tests.conftest import make_small_system
+
+    _, system, _ = make_small_system()
+    with pytest.raises(ConfigError):
+        audit_usage(system)

@@ -1,0 +1,97 @@
+"""Dataset-cache observability: memo/tracecache counters in metrics.
+
+The cross-trial fast lane (process memo + disk trace cache) was only
+observable through bench assertions; these tests pin the satellite that
+surfaces its hit/miss/store behavior through the metrics registry and
+the ``report`` output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.core import tracecache
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.metrics.config import MetricsConfig
+from repro.metrics.registry import MetricsRegistry
+from repro.metrics.report import cache_behavior_rows
+from repro.workloads import datasets
+from repro.workloads.ycsb import YCSBParams, YCSBWorkload
+
+
+@pytest.fixture
+def tiny_ycsb(monkeypatch):
+    """Shrink YCSB-C so a metered trial takes well under a second."""
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES,
+        "ycsb-c",
+        lambda: YCSBWorkload(
+            "c",
+            YCSBParams(n_items=400, n_requests=2_000, n_threads=2),
+        ),
+    )
+
+
+def _counter(registry, name):
+    family = registry.get(name)
+    assert family is not None, f"missing {name}"
+    return int(family.aggregate().value)
+
+
+def test_memo_stats_count_hits_and_misses():
+    datasets.clear_process_state()
+    datasets.MEMO_STATS.reset()
+    spec = datasets.DatasetSpec(
+        name="cache-counter-probe", params="p1", seed=1, rng_path=()
+    )
+    build = lambda: {"x": np.arange(4)}  # noqa: E731
+    datasets.get_dataset(spec, build)
+    assert datasets.MEMO_STATS.snapshot() == {"hits": 0, "misses": 1}
+    datasets.get_dataset(spec, build)
+    assert datasets.MEMO_STATS.snapshot() == {"hits": 1, "misses": 1}
+
+
+def test_trial_registry_reports_cache_deltas(tiny_ycsb):
+    """Two metered trials: the first misses the memo, the second hits.
+
+    Deltas are per-session (baselined at construction), so each trial's
+    registry reflects only its own cache traffic.
+    """
+    datasets.clear_process_state()
+    datasets.MEMO_STATS.reset()
+    tracecache.STATS.reset()
+    config = SystemConfig(policy="clock", swap="zram", capacity_ratio=0.9)
+    metrics = MetricsConfig()
+    first = run_trial("ycsb-c", config, seed=9100, metrics=metrics)
+    second = run_trial("ycsb-c", config, seed=9101, metrics=metrics)
+    r1, r2 = first.metrics_registry, second.metrics_registry
+    assert _counter(r1, "repro_cache_dataset_memo_misses_total") == 1
+    assert _counter(r1, "repro_cache_dataset_memo_hits_total") == 0
+    assert _counter(r2, "repro_cache_dataset_memo_hits_total") == 1
+    assert _counter(r2, "repro_cache_dataset_memo_misses_total") == 0
+    # The disk cache stored the build once; the second trial's memo hit
+    # means no further disk traffic.
+    assert _counter(r1, "repro_cache_tracecache_stores_total") == 1
+    assert _counter(r2, "repro_cache_tracecache_stores_total") == 0
+
+
+def test_report_renders_cache_behavior_section():
+    registry = MetricsRegistry()
+    registry.counter("repro_cache_dataset_memo_hits_total", help="").inc(9)
+    registry.counter("repro_cache_dataset_memo_misses_total", help="").inc(1)
+    registry.counter("repro_cache_tracecache_hits_total", help="").inc(3)
+    registry.counter("repro_cache_tracecache_misses_total", help="").inc(1)
+    registry.counter("repro_cache_tracecache_stores_total", help="").inc(1)
+    rows = cache_behavior_rows(registry)
+    assert [row[0] for row in rows] == ["dataset memo", "trace cache"]
+    memo = rows[0]
+    assert memo[1] == "9" and memo[2] == "1" and memo[3] == "90.0%"
+    trace = rows[1]
+    assert trace[4] == "1"  # stores surfaced for the disk layer
+
+
+def test_report_omits_section_without_cache_counters():
+    assert cache_behavior_rows(MetricsRegistry()) == []
