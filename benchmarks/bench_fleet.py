@@ -12,14 +12,20 @@ end to end:
    across an interrupt (``max_trials``) followed by a resume of the
    same sink file.
 3. **Throughput** — simulated requests per wall-clock second, for
-   tracking the fleet path's mechanical cost over time.
+   tracking the fleet path's mechanical cost over time.  Both serving
+   lanes (``REPRO_FAST_FLEET`` vectorized vs scalar reference) are
+   timed on every cell and must return byte-identical rows.
+4. **Lane speedup** — on a serving-bound cell (read-only, zero
+   per-request compute, near-full capacity) the fast lane must beat
+   the scalar lane by ``--min-speedup`` (default 5x).
 
 Writes ``benchmarks/output/BENCH_fleet.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_fleet.py [--tenants N]
-        [--requests N] [--rss-budget-mb MB] [--output PATH]
+        [--requests N] [--fastlane-requests N] [--min-speedup X]
+        [--repeats N] [--rss-budget-mb MB] [--output PATH]
 """
 
 from __future__ import annotations
@@ -63,20 +69,60 @@ def big_fleet_config(n_tenants: int, n_requests: int) -> FleetConfig:
     )
 
 
+def fastlane_config(n_tenants: int, n_requests: int) -> FleetConfig:
+    """Serving-bound cell for the lane-speedup gate: read-only
+    traffic, zero per-request compute, near-full capacity so resident
+    hits dominate.  This isolates the request-serving inner loop — the
+    thing ``REPRO_FAST_FLEET`` vectorizes — from fault and reclaim
+    work, which both lanes share."""
+    return FleetConfig(
+        n_tenants=n_tenants,
+        shapes=(
+            TenantShape(
+                n_items=80,
+                zipf_theta=0.99,
+                read_fraction=1.0,
+                request_compute_ns=0,
+            ),
+        ),
+        swap="zram",
+        capacity_ratio=0.98,
+        n_requests_total=n_requests,
+        arrival_rate_rps=1e11,
+        n_cpus=8,
+    )
+
+
+def _timed_trial(config, policy, seed, fast):
+    t0 = time.perf_counter()
+    row = run_fleet_trial(config, policy, seed, fast_fleet=fast)
+    wall_s = time.perf_counter() - t0
+    served = sum(t["requests"] for t in row["tenants"])
+    return row, wall_s, served
+
+
 def bench_scale(args) -> dict:
-    """Property 1 + 3: the 200-tenant trial, RSS and throughput."""
+    """Property 1 + 3: the 200-tenant trial, RSS and throughput.
+
+    Times both serving lanes on the pressure cell; the reported
+    ``requests_per_s`` stays the fast (default) lane for continuity
+    with prior baselines."""
     config = big_fleet_config(args.tenants, args.requests)
     rss_before = peak_rss_mb()
-    t0 = time.perf_counter()
-    row = run_fleet_trial(config, "mglru", 4242)
-    wall_s = time.perf_counter() - t0
+    row, wall_s, served = _timed_trial(config, "mglru", 4242, True)
+    row_scalar, wall_scalar, _ = _timed_trial(config, "mglru", 4242, False)
     rss_after = peak_rss_mb()
-    served = sum(t["requests"] for t in row["tenants"])
+    identical = json.dumps(row, sort_keys=True) == json.dumps(
+        row_scalar, sort_keys=True
+    )
     return {
         "tenants": args.tenants,
         "requests": served,
         "wall_s": round(wall_s, 3),
         "requests_per_s": round(served / wall_s, 1),
+        "scalar_wall_s": round(wall_scalar, 3),
+        "scalar_requests_per_s": round(served / wall_scalar, 1),
+        "rows_identical": identical,
         "sim_runtime_ns": row["runtime_ns"],
         "peak_rss_mb": round(rss_after, 1),
         "rss_growth_mb": round(rss_after - rss_before, 1),
@@ -84,6 +130,47 @@ def bench_scale(args) -> dict:
         "rss_ok": rss_after <= args.rss_budget_mb,
         "evictions": row["totals"]["evictions"],
         "major_faults": row["totals"]["major_faults"],
+    }
+
+
+def bench_fast_lane(args) -> dict:
+    """Property 4: fast-lane speedup on the serving-bound cell.
+
+    Lanes are timed interleaved (scalar, fast, scalar, fast, ...) and
+    scored best-of-``--repeats`` per lane, which suppresses host
+    timing noise far better than a single back-to-back pair."""
+    config = fastlane_config(args.tenants, args.fastlane_requests)
+    # Warm the shared dataset/trace caches so neither lane pays the
+    # one-time working-set build.
+    run_fleet_trial(
+        fastlane_config(args.tenants, 1_000), "mglru", 4242, fast_fleet=True
+    )
+    walls = {"scalar": [], "fast": []}
+    rows = {}
+    served = 0
+    for _ in range(max(1, args.repeats)):
+        for lane, fast in (("scalar", False), ("fast", True)):
+            row, wall_s, served = _timed_trial(config, "mglru", 4242, fast)
+            walls[lane].append(wall_s)
+            rows[lane] = row
+    identical = json.dumps(rows["scalar"], sort_keys=True) == json.dumps(
+        rows["fast"], sort_keys=True
+    )
+    best = {lane: min(times) for lane, times in walls.items()}
+    speedup = best["scalar"] / best["fast"]
+    return {
+        "tenants": args.tenants,
+        "requests": served,
+        "repeats": max(1, args.repeats),
+        "scalar_wall_s": round(best["scalar"], 3),
+        "fast_wall_s": round(best["fast"], 3),
+        "scalar_requests_per_s": round(served / best["scalar"], 1),
+        "fast_requests_per_s": round(served / best["fast"], 1),
+        "speedup": round(speedup, 2),
+        "min_speedup": args.min_speedup,
+        "speedup_ok": speedup >= args.min_speedup,
+        "rows_identical": identical,
+        "evictions": rows["fast"]["totals"]["evictions"],
     }
 
 
@@ -160,6 +247,25 @@ def main(argv=None) -> int:
     parser.add_argument("--tenants", type=int, default=200)
     parser.add_argument("--requests", type=int, default=30_000)
     parser.add_argument(
+        "--fastlane-requests",
+        type=int,
+        default=6_000_000,
+        help="requests on the serving-bound speedup cell; the lane's "
+        "fixed costs need a few million requests to amortize",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="fast-vs-scalar speedup gate on the serving-bound cell",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="interleaved timing rounds per lane (best-of scoring)",
+    )
+    parser.add_argument(
         "--rss-budget-mb",
         type=float,
         default=1536.0,
@@ -178,10 +284,12 @@ def main(argv=None) -> int:
     with tempfile.TemporaryDirectory() as tmp:
         identity = bench_identity(args, pathlib.Path(tmp))
     scale = bench_scale(args)
+    fast_lane = bench_fast_lane(args)
 
     result = {
         "benchmark": "fleet",
         "scale": scale,
+        "fast_lane": fast_lane,
         "identity": identity,
     }
     out_path = pathlib.Path(args.output)
@@ -198,6 +306,15 @@ def main(argv=None) -> int:
     if scale["evictions"] == 0:
         failures.append(
             "scale trial produced zero evictions — no memory pressure"
+        )
+    if not scale["rows_identical"]:
+        failures.append("scale cell: fast and scalar lane rows differ")
+    if not fast_lane["rows_identical"]:
+        failures.append("fastlane cell: fast and scalar lane rows differ")
+    if not fast_lane["speedup_ok"]:
+        failures.append(
+            f"fast-lane speedup {fast_lane['speedup']}x below gate "
+            f"{fast_lane['min_speedup']}x"
         )
     if not identity["serial_eq_jobs_eq_resume"]:
         failures.append("per-tenant p99/SLO differ across execution modes")

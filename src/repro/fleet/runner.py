@@ -13,12 +13,18 @@ and assert the resume path.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.experiment import _jobs_from_env
 from repro.fleet.config import FleetConfig
 from repro.fleet.sink import JsonlSink
 from repro.fleet.trial import run_fleet_trial
+
+#: In-flight futures kept per pool worker.  A whole-grid submit would
+#: pin every trial's (config, policy, seed) args — and for huge sweeps
+#: the executor's bookkeeping — in memory at once; a small multiple of
+#: the worker count keeps every worker busy while bounding the window.
+WINDOW_PER_JOB = 4
 
 
 def pending_grid(
@@ -61,24 +67,30 @@ def run_sweep(
 
     ran = 0
     if jobs > 1 and len(todo) > 1:
+        window = jobs * WINDOW_PER_JOB
+        feed: Iterator[Tuple[str, int]] = iter(todo)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(run_fleet_trial, config, policy, seed): (
-                    policy,
-                    seed,
-                )
-                for policy, seed in todo
-            }
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
+            futures = {}
+            for policy, seed in feed:
+                futures[
+                    pool.submit(run_fleet_trial, config, policy, seed)
+                ] = (policy, seed)
+                if len(futures) >= window:
+                    break
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    policy, seed = futures[future]
+                    policy, seed = futures.pop(future)
                     sink.append(future.result())
                     ran += 1
                     note(f"fleet {policy} seed {seed} ({ran}/{len(todo)})")
+                # Refill the window: one new submit per completion.
+                for policy, seed in feed:
+                    futures[
+                        pool.submit(run_fleet_trial, config, policy, seed)
+                    ] = (policy, seed)
+                    if len(futures) >= window:
+                        break
     else:
         for policy, seed in todo:
             sink.append(run_fleet_trial(config, policy, seed))

@@ -25,7 +25,10 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError
 
-FORMAT = "repro.fleet/v1"
+#: Sink/row format tag.  v2: burst-quantized request serving (PR 8's
+#: fleet fast lane redefined request-completion instants for both
+#: lanes), so v1 sinks are not resumable or comparable under v2 code.
+FORMAT = "repro.fleet/v2"
 
 
 def config_digest(config_dict: Dict[str, Any]) -> str:

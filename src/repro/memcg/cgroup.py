@@ -94,6 +94,12 @@ class MemCgroup:
     index: int = 0
     usage_pages: int = 0
     stats: MemCgroupStats = field(default_factory=MemCgroupStats)
+    #: Bumped on every uncharge.  Every present->absent transition of a
+    #: page charged here goes through an uncharge (eviction frees the
+    #: frame with ``uncharge=page.memcg``), so an unchanged epoch means
+    #: no page of this cgroup lost residency — the fleet fast lane's
+    #: licence to reuse a cached batch-wide presence classification.
+    evict_epoch: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.limit_pages is not None and self.limit_pages < 1:
@@ -162,6 +168,7 @@ class MemCgroup:
 
     def uncharge(self, n_pages: int = 1) -> None:
         """Release *n_pages* from the ledger; going negative is a bug."""
+        self.evict_epoch += 1
         self.usage_pages -= n_pages
         if self.usage_pages < 0:
             raise SimulationError(
@@ -240,10 +247,22 @@ class MemCgroup:
     # Page ownership
     # ------------------------------------------------------------------
 
-    def adopt_area(self, vma: "VMArea", address_space: "AddressSpace") -> None:
-        """Tag every page of *vma* as owned by this cgroup."""
+    def adopt_area(
+        self,
+        vma: "VMArea",
+        address_space: "AddressSpace",
+        tag_pages: bool = True,
+    ) -> None:
+        """Tag every page of *vma* as owned by this cgroup.
+
+        ``tag_pages=False`` only records the span — for callers that
+        already stamped ``page.memcg`` at page creation (``map_area``
+        with a ``memcg=``), skipping the second per-page pass.
+        """
         self.vmas.append(vma)
         self._regions = None
+        if not tag_pages:
+            return
         table = address_space.page_table
         for vpn in range(vma.start_vpn, vma.end_vpn):
             table.lookup(vpn).memcg = self
@@ -261,14 +280,13 @@ class MemCgroup:
         fixed once setup completes).
         """
         if self._regions is None:
-            spans = [(v.start_vpn, v.end_vpn) for v in self.vmas]
-            self._regions = [
-                region
-                for region in address_space.page_table.regions()
-                if any(
-                    lo <= region.start_vpn < hi for lo, hi in spans
-                )
-            ]
+            table = address_space.page_table
+            regions: list = []
+            for lo, hi in sorted(
+                (v.start_vpn, v.end_vpn) for v in self.vmas
+            ):
+                regions.extend(table.regions_in_range(lo, hi))
+            self._regions = regions
         return self._regions
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

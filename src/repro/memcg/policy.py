@@ -73,6 +73,22 @@ def apportion(total: int, weights: Sequence[int]) -> List[int]:
     return shares
 
 
+def _weigh_soft(cg: "MemCgroup") -> int:
+    return cg.excess_over_soft()
+
+
+def _weigh_low(cg: "MemCgroup") -> int:
+    return cg.excess_over_low()
+
+
+def _weigh_min(cg: "MemCgroup") -> int:
+    return cg.excess_over_min()
+
+
+def _weigh_usage(cg: "MemCgroup") -> int:
+    return max(0, cg.usage_pages)
+
+
 class MemcgPolicy(ReplacementPolicy):
     """Root policy multiplexing per-cgroup replacement policies."""
 
@@ -90,6 +106,12 @@ class MemcgPolicy(ReplacementPolicy):
                 raise ConfigError(f"duplicate cgroup name {cg.name!r}")
             names.add(cg.name)
         self.name = f"memcg[{len(self.cgroups)}]"
+        # Soft limits are fixed at construction (the fleet sets them
+        # from config ratios); with none set, every soft pass would
+        # weigh all-zero and apportion nothing — skip it wholesale.
+        self._any_soft_limit = any(
+            cg.soft_limit_pages is not None for cg in self.cgroups
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -160,10 +182,9 @@ class MemcgPolicy(ReplacementPolicy):
         )
         total = 0
         passes = (
-            lambda cg: cg.excess_over_soft(),
-            lambda cg: cg.excess_over_low(),
-            lambda cg: cg.excess_over_min(),
-            lambda cg: max(0, cg.usage_pages),
+            (_weigh_soft, _weigh_low, _weigh_min, _weigh_usage)
+            if self._any_soft_limit
+            else (_weigh_low, _weigh_min, _weigh_usage)
         )
         for weigh in passes:
             remaining = nr_pages - total

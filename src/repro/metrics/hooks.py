@@ -49,6 +49,9 @@ HOOKS: Dict[str, Tuple[str, ...]] = {
     # -- engine / threads ----------------------------------------------
     "engine_events": ("n_imm", "n_heap"),
     "thread_done": ("compute_requested_ns",),
+    # -- fleet serving lane --------------------------------------------
+    "fleet_batch": ("n_requests", "n_residue"),
+    "fleet_lane": ("fast",),
 }
 
 Recorder = Callable[..., None]

@@ -257,6 +257,56 @@ class MetricsSession:
         )
         self._recorders.append(("thread_done", compute_buf.append))
 
+        # -- fleet serving lane ----------------------------------------
+        fleet_reqs = reg.counter(
+            "repro_fleet_batch_requests_total",
+            help="Requests served through fleet tenant key batches.",
+            unit="requests",
+        ).labels()
+        fleet_residue = reg.counter(
+            "repro_fleet_residue_requests_total",
+            help="Fleet batch requests that faulted (left the batched "
+            "hit path for the scalar fault path).",
+            unit="requests",
+        ).labels()
+        residue_buf = self._buffer_scalars(
+            reg.histogram(
+                "repro_fleet_residue_per_batch",
+                help="Faulting (residue) requests per fleet key batch — "
+                "the fast lane's vectorization quality: 0 means the "
+                "whole batch served from resident pages.",
+                unit="requests",
+            ).labels()
+        )
+
+        def on_fleet_batch(
+            n_requests,
+            n_residue,
+            _r=fleet_reqs,
+            _f=fleet_residue,
+            _b=residue_buf.append,
+        ):
+            _r.inc(n_requests)
+            _f.inc(n_residue)
+            _b(n_residue)
+
+        self._recorders.append(("fleet_batch", on_fleet_batch))
+
+        fleet_trials = reg.counter(
+            "repro_fleet_trials_total",
+            help="Fleet trials by serving lane (fast = vectorized "
+            "REPRO_FAST_FLEET lane, scalar = reference lane).",
+            unit="trials",
+            labelnames=("lane",),
+        )
+        lane_fast = fleet_trials.labels(lane="fast")
+        lane_scalar = fleet_trials.labels(lane="scalar")
+
+        def on_fleet_lane(fast, _f=lane_fast, _s=lane_scalar):
+            (_f if fast else _s).inc()
+
+        self._recorders.append(("fleet_lane", on_fleet_lane))
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -117,11 +117,13 @@ class AddressSpace:
         start = place_area(self._next_free_vpn, self._aslr_rng, align_region)
         vma = VMArea(name, start, n_pages, kind, entropy)
         for vpn in range(start, start + n_pages):
-            self.page_table.map_page(Page(vpn, kind=kind, entropy=entropy))
+            page = Page(vpn, kind=kind, entropy=entropy)
+            page.memcg = memcg
+            self.page_table.map_page(page)
         self._vmas[name] = vma
         self._next_free_vpn = vma.end_vpn
         if memcg is not None:
-            memcg.adopt_area(vma, self)
+            memcg.adopt_area(vma, self, tag_pages=False)
         return vma
 
     # ------------------------------------------------------------------

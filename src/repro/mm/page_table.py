@@ -14,6 +14,7 @@ iterates.
 from __future__ import annotations
 
 import weakref
+from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -225,6 +226,7 @@ class PageTable:
 
     def __init__(self) -> None:
         self._regions: dict[int, PageTableRegion] = {}
+        self._region_order: Optional[List[int]] = None
         self._pages: dict[int, Page] = {}
         self._flat: Optional[PTEFlatState] = None
         self._flat_stale = False
@@ -258,6 +260,7 @@ class PageTable:
         if region is None:
             region = PageTableRegion(index)
             self._regions[index] = region
+            self._region_order = None
         region.add(page)
         self._pages[page.vpn] = page
         if self._flat is not None:
@@ -347,9 +350,40 @@ class PageTable:
         """Number of leaf page-table regions in use."""
         return len(self._regions)
 
+    def _ordered_indices(self) -> List[int]:
+        """Region indices in address order, cached between mappings."""
+        order = self._region_order
+        if order is None:
+            order = sorted(self._regions)
+            self._region_order = order
+        return order
+
     def regions(self) -> List[PageTableRegion]:
         """Regions in address order — the aging walker's scan order."""
-        return [self._regions[i] for i in sorted(self._regions)]
+        regions = self._regions
+        return [regions[i] for i in self._ordered_indices()]
+
+    def regions_in_range(
+        self, lo_vpn: int, hi_vpn: int
+    ) -> List[PageTableRegion]:
+        """Regions whose ``start_vpn`` lies in ``[lo_vpn, hi_vpn)``, in
+        address order.
+
+        Bisects the cached region order instead of filtering every
+        region — the membership test is exactly
+        ``lo_vpn <= region.start_vpn < hi_vpn``, so per-cgroup region
+        lists (one range query per VMA span) match the full-scan filter
+        element for element.
+        """
+        if hi_vpn <= lo_vpn:
+            return []
+        order = self._ordered_indices()
+        first = -(-lo_vpn // PTES_PER_REGION)  # ceil
+        last = (hi_vpn - 1) // PTES_PER_REGION
+        lo_i = bisect_left(order, first)
+        hi_i = bisect_right(order, last)
+        regions = self._regions
+        return [regions[i] for i in order[lo_i:hi_i]]
 
     def pages(self) -> Iterator[Page]:
         """All mapped pages, in VPN order.

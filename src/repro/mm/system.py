@@ -543,6 +543,7 @@ class MemorySystem:
         yield Compute(self.costs.reclaim_page_ns * len(pages))
         evicted = 0
         aborted = []
+        drops: list[Page] = []
         writes: list[tuple[Page, bool]] = []
         # Snapshot the block's PTE bits in one pass when the fast lane
         # is on: processing one page never touches another page's bits,
@@ -587,10 +588,14 @@ class MemorySystem:
             else:
                 # Clean page with a valid swap copy: free drop, no I/O.
                 self.swap.set_shadow(page, self.policy.make_shadow(page))
-                self._finish_eviction(page)
-                evicted += 1
-                if tp_evict is not None:
-                    tp_evict(page.vpn, self.engine.now - t0, 0)
+                drops.append(page)
+        if drops:
+            self._finish_evictions(drops)
+            evicted += len(drops)
+            if tp_evict is not None:
+                dt = self.engine.now - t0
+                for page in drops:
+                    tp_evict(page.vpn, dt, 0)
         if flat is not None and write_idx:
             # Batched form of the per-page clears above — same instant
             # (no yields since the snapshot), same resulting bits.
@@ -598,6 +603,7 @@ class MemorySystem:
             flat.accessed[sel] = False
             flat.dirty[sel] = False
         if writes:
+            finished: list[Page] = []
             self._evictions_in_flight += len(writes)
             try:
                 yield from self.swap_device.write_batch(
@@ -630,10 +636,14 @@ class MemorySystem:
                     self.swap.store(page, self.policy.make_shadow(page))
                 else:
                     self.swap.set_shadow(page, self.policy.make_shadow(page))
-                self._finish_eviction(page)
-                evicted += 1
+                finished.append(page)
+            if finished:
+                self._finish_evictions(finished)
+                evicted += len(finished)
                 if tp_evict is not None:
-                    tp_evict(page.vpn, self.engine.now - t0, 1)
+                    dt = self.engine.now - t0
+                    for page in finished:
+                        tp_evict(page.vpn, dt, 1)
         return evicted, aborted
 
     def wait_eviction_batch(self) -> Iterator[Any]:
@@ -658,6 +668,37 @@ class MemorySystem:
         self.rmap.remove(frame)
         self.frames.free(frame, uncharge=page.memcg)
         self.stats.evictions += 1
+
+    def _finish_evictions(self, pages: Sequence[Page]) -> None:
+        """Batched :meth:`_finish_eviction`: per-page unmaps and frame
+        frees, then one *grouped* ledger update per distinct cgroup.
+
+        No yield separates the frees from the grouped uncharges, so the
+        memcg invariant (sum of usage == frames used) still holds at
+        every event boundary — only the per-page coupling of
+        ``free(uncharge=...)`` is relaxed inside the batch.  (MemCgroup
+        is an eq-bearing dataclass, hence unhashable: the group key is
+        ``id(cg)``.)
+        """
+        frames = self.frames
+        rmap = self.rmap
+        ledger: dict[int, list] = {}
+        for page in pages:
+            page.present = False
+            frame = page.frame
+            page.frame = None
+            rmap.remove(frame)
+            frames.free(frame)
+            cg = page.memcg
+            if cg is not None:
+                entry = ledger.get(id(cg))
+                if entry is None:
+                    ledger[id(cg)] = [cg, 1]
+                else:
+                    entry[1] += 1
+        self.stats.evictions += len(pages)
+        for cg, n in ledger.values():
+            cg.uncharge(n)
 
     # ------------------------------------------------------------------
     # Background reclaim

@@ -68,6 +68,11 @@ class KVStore:
             ).astype(np.int64)
         else:
             raise ConfigError("KVStore needs an rng or a precomputed layout")
+        # Key -> index page, memoized on first use: keys are item
+        # indices, so the multiplicative hash is a pure function of a
+        # bounded domain — one vectorized pass replaces four numpy ops
+        # per lookup batch.
+        self._index_page: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Lookups (vectorized; return page indices relative to each VMA)
@@ -79,10 +84,16 @@ class KVStore:
 
     def index_pages(self, keys: np.ndarray) -> np.ndarray:
         """Index-region page index for each key (multiplicative hash)."""
-        hashed = (keys.astype(np.uint64) * np.uint64(2654435761)) & np.uint64(
-            0xFFFFFFFF
-        )
-        return (hashed % np.uint64(self.n_index_pages)).astype(np.int64)
+        table = self._index_page
+        if table is None:
+            all_keys = np.arange(self.n_items, dtype=np.uint64)
+            hashed = (all_keys * np.uint64(2654435761)) & np.uint64(
+                0xFFFFFFFF
+            )
+            table = self._index_page = (
+                hashed % np.uint64(self.n_index_pages)
+            ).astype(np.int64)
+        return table[keys]
 
     @property
     def footprint_pages(self) -> int:

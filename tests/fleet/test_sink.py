@@ -33,7 +33,7 @@ def test_fresh_file_writes_header(tmp_path, config_dict):
     lines = open(path).read().splitlines()
     header = json.loads(lines[0])
     assert header["kind"] == "header"
-    assert header["format"] == "repro.fleet/v1"
+    assert header["format"] == "repro.fleet/v2"
     assert header["config"] == config_dict
     assert json.loads(lines[1])["policy"] == "clock"
 
@@ -95,5 +95,5 @@ def test_foreign_file_rejected(tmp_path, config_dict):
     path = str(tmp_path / "out.jsonl")
     with open(path, "w") as fh:
         fh.write(json.dumps({"kind": "something-else"}) + "\n")
-    with pytest.raises(ConfigError, match="repro.fleet/v1"):
+    with pytest.raises(ConfigError, match="repro.fleet/v2"):
         JsonlSink(path, config_dict).open()

@@ -85,6 +85,27 @@ class TestPageTable:
         table.map_page(Page(100 * PTES_PER_REGION))
         assert table.n_regions == 1
 
+    def test_regions_in_range_matches_full_scan_filter(self):
+        table = PageTable()
+        # Sparse, out-of-order regions (the per-cgroup VMA-span shape).
+        for idx in [7, 0, 12, 3, 5]:
+            table.map_page(Page(idx * PTES_PER_REGION + 1))
+        spans = [
+            (0, 0),  # empty range
+            (0, 1),  # sub-region range touching region 0 only
+            (PTES_PER_REGION, 6 * PTES_PER_REGION),
+            # Unaligned bounds: regions 3/5/7 in, region 0 out.
+            (2 * PTES_PER_REGION + 5, 7 * PTES_PER_REGION + 1),
+            (0, 200 * PTES_PER_REGION),  # superset of everything
+            (50 * PTES_PER_REGION, 60 * PTES_PER_REGION),  # hole
+            (6 * PTES_PER_REGION, 3 * PTES_PER_REGION),  # inverted
+        ]
+        for lo, hi in spans:
+            expected = [
+                r for r in table.regions() if lo <= r.start_vpn < hi
+            ]
+            assert table.regions_in_range(lo, hi) == expected, (lo, hi)
+
 
 class TestTranslateMemo:
     def _flat(self, n_pages=64):
