@@ -174,6 +174,61 @@ def bench_fast_lane(args) -> dict:
     }
 
 
+def _strip_psi(row: dict) -> dict:
+    """A PSI-on row with every ``psi`` section removed — must equal
+    the PSI-off row byte-for-byte (PSI is a pure observer)."""
+    out = {k: v for k, v in row.items() if k != "psi"}
+    out["tenants"] = [
+        {k: v for k, v in t.items() if k != "psi"} for t in row["tenants"]
+    ]
+    return out
+
+
+def bench_psi_overhead(args) -> dict:
+    """PSI-on wall-clock overhead gate, both cells x both lanes.
+
+    Interleaved (off, on, off, on, ...) best-of-``--repeats`` timing
+    per (cell, lane); PSI-on must stay within ``--max-psi-overhead``
+    (default 5%) of PSI-off, and the PSI-on row minus its ``psi``
+    sections must equal the PSI-off row exactly.
+    """
+    cells = {
+        "pressure": big_fleet_config(args.tenants, args.requests),
+        "serving": fastlane_config(
+            args.tenants, max(1_000, args.fastlane_requests // 4)
+        ),
+    }
+    out = {"max_overhead": args.max_psi_overhead, "cells": {}}
+    for cell_name, config in cells.items():
+        cell_out = {}
+        for lane_name, fast in (("fast", True), ("scalar", False)):
+            walls = {"off": [], "on": []}
+            rows = {}
+            for _ in range(max(1, args.repeats)):
+                for mode, psi in (("off", False), ("on", True)):
+                    t0 = time.perf_counter()
+                    row = run_fleet_trial(
+                        config, "mglru", 4242, fast_fleet=fast, psi=psi
+                    )
+                    walls[mode].append(time.perf_counter() - t0)
+                    rows[mode] = row
+            identical = json.dumps(
+                _strip_psi(rows["on"]), sort_keys=True
+            ) == json.dumps(rows["off"], sort_keys=True)
+            best_off = min(walls["off"])
+            best_on = min(walls["on"])
+            overhead = best_on / best_off - 1.0
+            cell_out[lane_name] = {
+                "off_wall_s": round(best_off, 3),
+                "on_wall_s": round(best_on, 3),
+                "overhead": round(overhead, 4),
+                "overhead_ok": overhead <= args.max_psi_overhead,
+                "rows_identical": identical,
+            }
+        out["cells"][cell_name] = cell_out
+    return out
+
+
 def _tenant_p99_slo(rows) -> list:
     """Sorted, comparable (policy, seed, tenant, p99 bucket sig, slo)."""
     from repro.metrics.registry import Histogram
@@ -272,6 +327,13 @@ def main(argv=None) -> int:
         help="peak-RSS gate for the scale trial (default 1.5 GiB)",
     )
     parser.add_argument(
+        "--max-psi-overhead",
+        type=float,
+        default=0.05,
+        help="PSI-on vs PSI-off wall-clock overhead gate per "
+        "(cell, lane) (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
         "--output",
         default=str(
             pathlib.Path(__file__).parent / "output" / "BENCH_fleet.json"
@@ -285,12 +347,14 @@ def main(argv=None) -> int:
         identity = bench_identity(args, pathlib.Path(tmp))
     scale = bench_scale(args)
     fast_lane = bench_fast_lane(args)
+    psi = bench_psi_overhead(args)
 
     result = {
         "benchmark": "fleet",
         "scale": scale,
         "fast_lane": fast_lane,
         "identity": identity,
+        "psi": psi,
     }
     out_path = pathlib.Path(args.output)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -320,6 +384,19 @@ def main(argv=None) -> int:
         failures.append("per-tenant p99/SLO differ across execution modes")
     if not identity["reports_identical"]:
         failures.append("rendered reports differ across execution modes")
+    for cell_name, lanes in psi["cells"].items():
+        for lane_name, cell in lanes.items():
+            if not cell["rows_identical"]:
+                failures.append(
+                    f"psi {cell_name}/{lane_name}: PSI-on row (minus psi "
+                    "sections) differs from PSI-off row"
+                )
+            if not cell["overhead_ok"]:
+                failures.append(
+                    f"psi {cell_name}/{lane_name}: overhead "
+                    f"{cell['overhead']:.1%} exceeds gate "
+                    f"{psi['max_overhead']:.0%}"
+                )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -80,6 +80,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after N trials this invocation (resume later)",
     )
+    run.add_argument(
+        "--psi",
+        action="store_true",
+        default=None,
+        help="enable PSI pressure accounting (adds a 'psi' section to "
+        "rows; default: REPRO_PSI env, off)",
+    )
+    run.add_argument(
+        "--lane-stats-out",
+        default=None,
+        help="write this invocation's serving-lane counters as JSON "
+        "(feed to 'report --lane-stats')",
+    )
 
     report = sub.add_parser("report", help="render a sink as Markdown")
     report.add_argument("--in", dest="input", required=True)
@@ -91,6 +104,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="also dump the merged registry (repro.metrics/v1 JSON)",
+    )
+    report.add_argument(
+        "--lane-stats",
+        default=None,
+        help="lane-counters JSON from 'run --lane-stats-out'; adds a "
+        "'Serving lanes' section to the report",
     )
     return parser
 
@@ -121,6 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_cpus=args.cpus,
     )
     seeds = [args.base_seed + i for i in range(args.seeds)]
+    lane_stats: dict = {}
     with JsonlSink(args.out, config.to_dict()) as sink:
         already = len(sink.completed)
         if already:
@@ -133,10 +153,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             max_trials=args.max_trials,
             progress=print,
+            psi=args.psi,
+            lane_stats=lane_stats,
         )
         total = len(policies) * len(seeds)
         done = len(sink.completed)
         print(f"ran {ran} trial(s); sink has {done}/{total}")
+    if args.lane_stats_out:
+        with open(args.lane_stats_out, "w") as fh:
+            json.dump(lane_stats, fh, sort_keys=True)
+        print(f"wrote {args.lane_stats_out}")
     return 0
 
 
@@ -145,7 +171,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if not rows:
         print(f"{args.input}: no completed trials yet", file=sys.stderr)
         return 1
-    text = render_markdown(header, rows, top=args.top)
+    lane_stats = None
+    if args.lane_stats:
+        with open(args.lane_stats) as fh:
+            lane_stats = json.load(fh)
+    text = render_markdown(header, rows, top=args.top, lane_stats=lane_stats)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)

@@ -13,7 +13,7 @@ text) as single-process metrics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.metrics.registry import Histogram, MetricsRegistry
 
@@ -33,6 +33,13 @@ class TenantAgg:
         "limit_breaches",
         "usage_pages",
         "footprint_pages",
+        "psi_stall_ns",
+        "psi_viol_ns",
+        "psi_viol_stall_ns",
+        "ws_refault",
+        "ws_activate",
+        "ws_restore",
+        "has_psi",
     )
 
     def __init__(self, tenant: int) -> None:
@@ -47,6 +54,13 @@ class TenantAgg:
         self.limit_breaches = 0
         self.usage_pages = 0
         self.footprint_pages = 0
+        self.psi_stall_ns = 0
+        self.psi_viol_ns = 0
+        self.psi_viol_stall_ns = 0
+        self.ws_refault = 0
+        self.ws_activate = 0
+        self.ws_restore = 0
+        self.has_psi = False
 
     def add(self, entry: Dict[str, Any]) -> None:
         self.requests += int(entry["requests"])
@@ -64,10 +78,29 @@ class TenantAgg:
         self.limit_breaches += int(memcg.get("limit_breaches", 0))
         self.usage_pages = max(self.usage_pages, int(entry["usage_pages"]))
         self.footprint_pages = int(entry["footprint_pages"])
+        psi = entry.get("psi")
+        if psi is not None:
+            self.has_psi = True
+            self.psi_stall_ns += int(psi["stall_ns"])
+            self.psi_viol_ns += int(psi["viol_ns"])
+            self.psi_viol_stall_ns += int(psi["viol_stall_ns"])
+            pressure = psi.get("pressure", {})
+            self.ws_refault += int(pressure.get("workingset_refault", 0))
+            self.ws_activate += int(pressure.get("workingset_activate", 0))
+            self.ws_restore += int(pressure.get("workingset_restore", 0))
 
     @property
     def slo_rate(self) -> float:
         return self.slo_violations / self.requests if self.requests else 0.0
+
+    @property
+    def viol_stall_share(self) -> float:
+        """Fraction of SLO-violation time the tenant spent memstalled
+        (its own full-stall pressure, since single-task groups have
+        ``full == some``)."""
+        if self.psi_viol_ns <= 0:
+            return 0.0
+        return self.psi_viol_stall_ns / self.psi_viol_ns
 
 
 def aggregate(
@@ -110,6 +143,27 @@ def fleet_summary(per_tenant: Dict[int, TenantAgg]) -> Dict[str, float]:
     }
 
 
+def aggregate_steals(
+    rows: List[Dict[str, Any]]
+) -> Dict[str, Dict[Tuple[int, int], int]]:
+    """policy -> (requester, victim) -> pages, summed across seeds.
+
+    Rows carry the steal matrix only when PSI was on; summing the
+    sorted triples is order-independent, so serial / ``REPRO_JOBS`` /
+    resumed sweeps aggregate identically.
+    """
+    out: Dict[str, Dict[Tuple[int, int], int]] = {}
+    for row in rows:
+        psi = row.get("psi")
+        if psi is None:
+            continue
+        matrix = out.setdefault(str(row["policy"]), {})
+        for requester, victim, pages in psi.get("steals", []):
+            key = (int(requester), int(victim))
+            matrix[key] = matrix.get(key, 0) + int(pages)
+    return out
+
+
 # ----------------------------------------------------------------------
 # Markdown
 # ----------------------------------------------------------------------
@@ -128,13 +182,95 @@ def _md_table(headers: List[str], rows: List[List[str]]) -> str:
     return "\n".join(lines)
 
 
+def _attribution_section(
+    groups: Dict[str, Dict[int, TenantAgg]],
+    steals: Dict[str, Dict[Tuple[int, int], int]],
+    top: int,
+) -> List[str]:
+    """``## SLO-violation attribution (PSI)`` markdown lines.
+
+    For each policy's worst violators (by total violation time): how
+    much of the violation window the tenant itself was memstalled
+    (full == some for single-task groups), how many of its pages global
+    reclaim stole, and which tenant's direct reclaim stole the most —
+    the "tenant 17's breach was under full stall while tenant 3's burst
+    stole its pages" readout.
+    """
+    parts: List[str] = []
+    for policy in sorted(groups):
+        per_tenant = groups[policy]
+        violators = sorted(
+            (a for a in per_tenant.values() if a.psi_viol_ns > 0),
+            key=lambda a: (-a.psi_viol_ns, a.tenant),
+        )[:top]
+        parts.append(
+            f"### {policy}: top {len(violators)} violators by violation time"
+        )
+        parts.append("")
+        if not violators:
+            parts.append("_no SLO-violation windows recorded_")
+            parts.append("")
+            continue
+        matrix = steals.get(policy, {})
+        table_rows = []
+        for a in violators:
+            instigators = sorted(
+                (
+                    (pages, requester)
+                    for (requester, victim), pages in matrix.items()
+                    if victim == a.tenant and requester != a.tenant
+                ),
+                key=lambda pv: (-pv[0], pv[1]),
+            )
+            if instigators:
+                pages, requester = instigators[0]
+                instigator = f"t{requester} ({pages} pg)"
+            else:
+                instigator = "-"
+            table_rows.append(
+                [
+                    f"t{a.tenant}",
+                    f"{a.psi_viol_ns / 1e6:.3f}ms",
+                    f"{a.viol_stall_share:.0%}",
+                    f"{a.psi_stall_ns / 1e6:.3f}ms",
+                    str(a.stolen_from),
+                    instigator,
+                ]
+            )
+        parts.append(
+            _md_table(
+                [
+                    "tenant",
+                    "viol time",
+                    "under full stall",
+                    "stall total",
+                    "stolen from (pg)",
+                    "top instigator",
+                ],
+                table_rows,
+            )
+        )
+        parts.append("")
+    return parts
+
+
 def render_markdown(
     header: Dict[str, Any],
     rows: List[Dict[str, Any]],
     top: int = 10,
     title: str = "Fleet report",
+    lane_stats: Optional[Dict[str, int]] = None,
 ) -> str:
-    """The full fleet report: policy comparison + worst tenants."""
+    """The full fleet report: policy comparison + worst tenants.
+
+    When any row carries a ``psi`` section (the sweep ran with
+    ``REPRO_PSI``/``--psi``) an *SLO-violation attribution* section is
+    appended; PSI-off sinks render byte-identically to pre-PSI reports.
+    ``lane_stats`` (the accumulator :func:`repro.fleet.runner.run_sweep`
+    fills) opts into a *Serving lanes* section — opt-in because lane
+    trial counts legitimately differ between the scalar and fast lanes
+    while reports of the same sink must not.
+    """
     groups = aggregate(rows)
     config = header.get("config", {})
     parts = [f"# {title}", ""]
@@ -222,6 +358,41 @@ def render_markdown(
             )
         )
         parts.append("")
+    if any(row.get("psi") is not None for row in rows):
+        parts.append("## SLO-violation attribution (PSI)")
+        parts.append("")
+        parts.extend(
+            _attribution_section(groups, aggregate_steals(rows), top)
+        )
+    if lane_stats is not None:
+        parts.append("## Serving lanes")
+        parts.append("")
+        requests = int(lane_stats.get("requests", 0))
+        residue = int(lane_stats.get("residue_requests", 0))
+        share = residue / requests if requests else 0.0
+        parts.append(
+            _md_table(
+                [
+                    "requests",
+                    "residue (faulting)",
+                    "residue share",
+                    "batches",
+                    "fast-lane trials",
+                    "scalar trials",
+                ],
+                [
+                    [
+                        str(requests),
+                        str(residue),
+                        f"{share:.2%}",
+                        str(int(lane_stats.get("batches", 0))),
+                        str(int(lane_stats.get("fast_trials", 0))),
+                        str(int(lane_stats.get("scalar_trials", 0))),
+                    ]
+                ],
+            )
+        )
+        parts.append("")
     return "\n".join(parts)
 
 
@@ -269,7 +440,29 @@ def build_registry(rows: List[Dict[str, Any]]) -> MetricsRegistry:
         unit="pages",
         labelnames=("policy", "tenant", "direction"),
     )
-    for policy, per_tenant in aggregate(rows).items():
+    groups = aggregate(rows)
+    has_psi = any(
+        agg.has_psi
+        for per_tenant in groups.values()
+        for agg in per_tenant.values()
+    )
+    if has_psi:
+        psi_stall = reg.counter(
+            "repro_psi_memory_stall_us_total",
+            help="Per-tenant memory pressure stall time (PSI); kind="
+            "some|full|viol|viol_full (viol_full = stall overlapping "
+            "the tenant's SLO-violation windows).",
+            unit="microseconds",
+            labelnames=("policy", "tenant", "kind"),
+        )
+        ws = reg.counter(
+            "repro_workingset_total",
+            help="Per-tenant workingset refault/activate/restore "
+            "counters from shadow-entry refault distances.",
+            unit="pages",
+            labelnames=("policy", "tenant", "event"),
+        )
+    for policy, per_tenant in groups.items():
         for tid in sorted(per_tenant):
             agg = per_tenant[tid]
             label = {"policy": policy, "tenant": str(tid)}
@@ -279,6 +472,22 @@ def build_registry(rows: List[Dict[str, Any]]) -> MetricsRegistry:
             viol_total.labels(**label).inc(agg.slo_violations)
             stolen.labels(direction="from", **label).inc(agg.stolen_from)
             stolen.labels(direction="by", **label).inc(agg.stolen_by)
+            if has_psi and agg.has_psi:
+                # Tenant groups track one thread: full == some, so one
+                # series covers both; viol/viol_full carry the
+                # attribution overlap.
+                stall_us = agg.psi_stall_ns // 1000
+                psi_stall.labels(kind="some", **label).inc(stall_us)
+                psi_stall.labels(kind="full", **label).inc(stall_us)
+                psi_stall.labels(kind="viol", **label).inc(
+                    agg.psi_viol_ns // 1000
+                )
+                psi_stall.labels(kind="viol_full", **label).inc(
+                    agg.psi_viol_stall_ns // 1000
+                )
+                ws.labels(event="refault", **label).inc(agg.ws_refault)
+                ws.labels(event="activate", **label).inc(agg.ws_activate)
+                ws.labels(event="restore", **label).inc(agg.ws_restore)
     return reg
 
 

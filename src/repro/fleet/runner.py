@@ -13,18 +13,52 @@ and assert the resume path.
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.experiment import _jobs_from_env
 from repro.fleet.config import FleetConfig
 from repro.fleet.sink import JsonlSink
-from repro.fleet.trial import run_fleet_trial
+from repro.fleet.trial import LANE_STATS, run_fleet_trial
 
 #: In-flight futures kept per pool worker.  A whole-grid submit would
 #: pin every trial's (config, policy, seed) args — and for huge sweeps
 #: the executor's bookkeeping — in memory at once; a small multiple of
 #: the worker count keeps every worker busy while bounding the window.
 WINDOW_PER_JOB = 4
+
+
+def _trial_job(
+    config: FleetConfig, policy: str, seed: int, psi: Any
+) -> Tuple[Dict[str, Any], Dict[str, int]]:
+    """One trial plus its serving-lane counter delta.
+
+    ``LANE_STATS`` is process-global, so in a pool worker the only way
+    to attribute counters to *this* trial is a before/after snapshot;
+    the delta rides back with the row (rows themselves never carry lane
+    stats — they must stay byte-identical across lanes).
+    """
+    before = LANE_STATS.snapshot()
+    row = run_fleet_trial(config, policy, seed, psi=psi)
+    after = LANE_STATS.snapshot()
+    return row, {k: after[k] - before[k] for k in after}
+
+
+def _lane_accumulate(
+    lane_stats: Optional[Dict[str, int]], delta: Dict[str, int]
+) -> None:
+    if lane_stats is None:
+        return
+    for key, value in delta.items():
+        lane_stats[key] = lane_stats.get(key, 0) + value
 
 
 def pending_grid(
@@ -48,11 +82,19 @@ def run_sweep(
     jobs: Optional[int] = None,
     max_trials: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    psi: Any = None,
+    lane_stats: Optional[Dict[str, int]] = None,
 ) -> int:
     """Run the missing trials of the grid; returns how many ran.
 
     Every appended row is durable before the next trial starts, so an
     interrupt anywhere loses at most the in-flight trials.
+
+    ``psi`` is forwarded to :func:`run_fleet_trial` (``None`` lets each
+    trial read ``REPRO_PSI``).  ``lane_stats``, when given a dict,
+    accumulates the serving-lane counter deltas (requests, residue,
+    batches, lane trial counts) of exactly the trials this invocation
+    ran — worker-process counters included.
     """
     jobs = _jobs_from_env() if jobs is None else max(1, int(jobs))
     todo = pending_grid(sink, policies, seeds)
@@ -73,7 +115,7 @@ def run_sweep(
             futures = {}
             for policy, seed in feed:
                 futures[
-                    pool.submit(run_fleet_trial, config, policy, seed)
+                    pool.submit(_trial_job, config, policy, seed, psi)
                 ] = (policy, seed)
                 if len(futures) >= window:
                     break
@@ -81,19 +123,23 @@ def run_sweep(
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     policy, seed = futures.pop(future)
-                    sink.append(future.result())
+                    row, delta = future.result()
+                    sink.append(row)
+                    _lane_accumulate(lane_stats, delta)
                     ran += 1
                     note(f"fleet {policy} seed {seed} ({ran}/{len(todo)})")
                 # Refill the window: one new submit per completion.
                 for policy, seed in feed:
                     futures[
-                        pool.submit(run_fleet_trial, config, policy, seed)
+                        pool.submit(_trial_job, config, policy, seed, psi)
                     ] = (policy, seed)
                     if len(futures) >= window:
                         break
     else:
         for policy, seed in todo:
-            sink.append(run_fleet_trial(config, policy, seed))
+            row, delta = _trial_job(config, policy, seed, psi)
+            sink.append(row)
+            _lane_accumulate(lane_stats, delta)
             ran += 1
             note(f"fleet {policy} seed {seed} ({ran}/{len(todo)})")
     return ran

@@ -32,6 +32,7 @@ from repro.metrics.registry import Histogram
 from repro.mm.page import PageKind
 from repro.mm.system import MemorySystem
 from repro.policies import make_policy
+from repro.psi import PsiConfig, PsiTracker, interval_overlap_ns
 from repro.sim.engine import Engine
 from repro.sim.events import Compute, Sleep
 from repro.sim.rng import RngTree
@@ -100,6 +101,17 @@ def fast_fleet_enabled() -> bool:
     byte-identical either way; the toggle exists for A/B verification.
     """
     return os.environ.get("REPRO_FAST_FLEET", "1") != "0"
+
+
+def psi_enabled() -> bool:
+    """The ``REPRO_PSI`` env knob (off by default).
+
+    PSI is a pure observer: enabling it adds a ``psi`` section to rows
+    and tenant entries but leaves every pre-existing field byte-
+    identical, and PSI-off runs carry zero per-event cost (the stall
+    sites gate on ``system.psi is None``).
+    """
+    return os.environ.get("REPRO_PSI", "0") != "0"
 
 
 # ----------------------------------------------------------------------
@@ -173,6 +185,7 @@ class _TenantState:
         "slo_violations",
         "major_faults",
         "minor_faults",
+        "viol_intervals",
     )
 
     def __init__(self) -> None:
@@ -182,6 +195,25 @@ class _TenantState:
         self.slo_violations = 0
         self.major_faults = 0
         self.minor_faults = 0
+        #: Coalesced SLO-violation windows ``[deadline, completion]``
+        #: (only populated while PSI is on; the attribution section
+        #: overlaps them against the tenant's PSI stall intervals).
+        self.viol_intervals: List[List[int]] = []
+
+
+def _viol_add(intervals: List[List[int]], start: int, end: int) -> None:
+    """Append one violation window, coalescing with the previous one.
+
+    Windows arrive in arrival order with non-decreasing completion
+    instants (every window ends at an ``engine.now`` flush point), so
+    extend-or-append keeps the list sorted and disjoint without a merge
+    pass.
+    """
+    if intervals and start <= intervals[-1][1]:
+        if end > intervals[-1][1]:
+            intervals[-1][1] = end
+    elif end > start:
+        intervals.append([start, end])
 
 
 def _tenant_body(
@@ -236,18 +268,27 @@ def _tenant_body(
     n_mine = int(arrivals.shape[0])
     fault_hist = state.fault_hist
     request_hist = state.request_hist
+    # PSI attribution wants the tenant's SLO-violation windows; the
+    # tracker installs before the engine runs, so the slot is settled
+    # by the time this generator first executes.
+    viol = state.viol_intervals if system.psi is not None else None
     pending_ns = 0
     #: Arrivals of hit requests whose burst has not flushed yet.
     waiting: List[int] = []
 
     def flush_observe() -> None:
         now = engine.now
+        vmin = -1
         for a in waiting:
             latency = now - a
             request_hist.observe(latency)
             if latency > slo_ns:
                 state.slo_violations += 1
+                if vmin < 0 or a < vmin:
+                    vmin = a
         waiting.clear()
+        if viol is not None and vmin >= 0:
+            _viol_add(viol, vmin + slo_ns, now)
 
     issued = 0
     while issued < n_mine:
@@ -317,6 +358,8 @@ def _tenant_body(
                 request_hist.observe(latency)
                 if latency > slo_ns:
                     state.slo_violations += 1
+                    if viol is not None:
+                        _viol_add(viol, arrival + slo_ns, engine.now)
             else:
                 waiting.append(arrival)
                 if c and pending_ns >= quantum:
@@ -399,6 +442,7 @@ def _tenant_body_fast(
     n_mine = int(arrivals.shape[0])
     fault_hist = state.fault_hist
     request_hist = state.request_hist
+    viol = state.viol_intervals if system.psi is not None else None
     # Per-tenant flat-index maps, translated once: the tenant's layout
     # is static, so per-batch lookups reduce to one gather each.
     index_map = flat.translate(index_start + np.arange(store.n_index_pages))
@@ -415,12 +459,18 @@ def _tenant_body_fast(
 
     def flush_observe() -> None:
         now = engine.now
+        # All windows of one flush end at ``now``, so their union is
+        # [min violating arrival + slo, now] regardless of the scalar/
+        # chunk observation order.
+        vmin = -1
         if w_scalar:
             for a in w_scalar:
                 latency = now - a
                 request_hist.observe(latency)
                 if latency > slo_ns:
                     state.slo_violations += 1
+                    if vmin < 0 or a < vmin:
+                        vmin = a
             w_scalar.clear()
         if w_chunks:
             arr = (
@@ -430,8 +480,15 @@ def _tenant_body_fast(
             )
             latencies = now - arr
             request_hist.observe_many(latencies)
-            state.slo_violations += int((latencies > slo_ns).sum())
+            nv = int((latencies > slo_ns).sum())
+            state.slo_violations += nv
+            if nv and viol is not None:
+                m = int(arr[latencies > slo_ns].min())
+                if vmin < 0 or m < vmin:
+                    vmin = m
             w_chunks.clear()
+        if viol is not None and vmin >= 0:
+            _viol_add(viol, vmin + slo_ns, now)
 
     issued = 0
     while issued < n_mine:
@@ -664,6 +721,8 @@ def _tenant_body_fast(
                 request_hist.observe(latency)
                 if latency > slo_ns:
                     state.slo_violations += 1
+                    if viol is not None:
+                        _viol_add(viol, arrival + slo_ns, engine.now)
             else:
                 # Stale-False: both pages live after all (this thread
                 # faulted them in earlier in the batch) — a plain hit.
@@ -718,6 +777,7 @@ def run_fleet_trial(
     policy_name: str,
     seed: int,
     fast_fleet: Optional[bool] = None,
+    psi: Any = None,
 ) -> Dict[str, Any]:
     """One fleet execution on a fresh simulator; returns a sink row.
 
@@ -725,9 +785,24 @@ def run_fleet_trial(
     scalar reference); ``None`` reads ``REPRO_FAST_FLEET`` (default
     on).  Both lanes emit identical command streams, so the returned
     row is byte-identical either way.
+
+    ``psi`` opts the trial into kernel-style pressure-stall accounting:
+    ``True`` (or a :class:`~repro.psi.PsiConfig`) installs a
+    :class:`~repro.psi.PsiTracker` and adds a ``psi`` section to the
+    row and to each tenant entry; ``False`` disables it; ``None`` reads
+    ``REPRO_PSI`` (default off).  PSI is deliberately *not* part of
+    :class:`FleetConfig` — it never changes simulation results, so the
+    sink's config digest (and resumability) is independent of it.
     """
     if fast_fleet is None:
         fast_fleet = fast_fleet_enabled()
+    if psi is None:
+        psi = psi_enabled()
+    psi_config: Optional[PsiConfig]
+    if isinstance(psi, PsiConfig):
+        psi_config = psi
+    else:
+        psi_config = PsiConfig() if psi else None
     engine = Engine()
     rng = RngTree(seed)
     n = config.n_tenants
@@ -863,31 +938,63 @@ def run_fleet_trial(
             f"tenant-{i}",
         )
 
+    # PSI installs *before* the engine runs: a pure observer (two
+    # ``None``-default slots on system/cpu plus a Sleep-only sampler
+    # daemon), so PSI-on leaves every pre-existing row field
+    # byte-identical to PSI-off.
+    tracker: Optional[PsiTracker] = None
+    if psi_config is not None:
+        tracker = PsiTracker(engine, psi_config)
+        for cg in cgroups:
+            tracker.add_group(cg, record_intervals=True)
+        tracker.install(system)
+        engine.spawn(
+            tracker.run_sampler(), name="psi-sampler", daemon=True
+        )
+
     system.start()
     runtime_ns = engine.run()
     audit_usage(system)  # ledger invariant: sum(usage) == frames used
+    if tracker is not None:
+        tracker.finalize(runtime_ns)
 
     stats = system.stats
     tenants = []
     for i, cg in enumerate(cgroups):
         state = states[i]
-        tenants.append(
-            {
-                "tenant": i,
-                "shape": config.shape_index(i),
-                "requests": state.requests_done,
-                "footprint_pages": footprints[i],
-                "usage_pages": cg.usage_pages,
-                "limit_pages": cg.limit_pages,
-                "fault_hist": state.fault_hist._to_obj(),
-                "request_hist": state.request_hist._to_obj(),
-                "slo_violations": state.slo_violations,
-                "major_faults": state.major_faults,
-                "minor_faults": state.minor_faults,
-                "memcg": cg.stats.snapshot(),
+        entry = {
+            "tenant": i,
+            "shape": config.shape_index(i),
+            "requests": state.requests_done,
+            "footprint_pages": footprints[i],
+            "usage_pages": cg.usage_pages,
+            "limit_pages": cg.limit_pages,
+            "fault_hist": state.fault_hist._to_obj(),
+            "request_hist": state.request_hist._to_obj(),
+            "slo_violations": state.slo_violations,
+            "major_faults": state.major_faults,
+            "minor_faults": state.minor_faults,
+            "memcg": cg.stats.snapshot(),
+        }
+        if tracker is not None:
+            group = tracker.group_for(cg)
+            assert group is not None
+            # Both interval lists are sorted and disjoint by
+            # construction, so the overlap is exact.  Tenant groups
+            # track a single thread (full == some), so the some-side
+            # stall intervals *are* the full-stall windows.
+            viol_ivs = state.viol_intervals
+            viol_ns = sum(e - s for s, e in viol_ivs)
+            entry["psi"] = {
+                "pressure": group.snapshot(),
+                "stall_ns": int(group.some_total_ns),
+                "viol_ns": int(viol_ns),
+                "viol_stall_ns": int(
+                    interval_overlap_ns(viol_ivs, group.stall_intervals)
+                ),
             }
-        )
-    return {
+        tenants.append(entry)
+    row: Dict[str, Any] = {
         "kind": "trial",
         "format": ROW_FORMAT,
         "policy": policy_name,
@@ -905,6 +1012,21 @@ def run_fleet_trial(
         },
         "tenants": tenants,
     }
+    if tracker is not None:
+        row["psi"] = {
+            "system": tracker.system.snapshot(),
+            "samples": [
+                [int(t), int(s), int(f), round(a10, 6), round(b10, 6)]
+                for t, s, f, a10, b10 in tracker.samples
+            ],
+            # Steal matrix as sorted (requester, victim, pages) triples:
+            # order-independent to aggregate, deterministic to render.
+            "steals": [
+                [r, v, pages]
+                for (r, v), pages in sorted(tracker.steals.items())
+            ],
+        }
+    return row
 
 
 # ----------------------------------------------------------------------

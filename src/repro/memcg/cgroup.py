@@ -211,7 +211,15 @@ class MemCgroup:
         if limit is None:
             return
         retries = 0
+        psi = system.psi
+        stalled = False
         while self.usage_pages + 1 > limit:
+            # Charge-time memstall (kernel psi_memstall_enter around
+            # try_to_free_mem_cgroup_pages in try_charge) — entered only
+            # when the charge actually has to reclaim.
+            if psi is not None and not stalled:
+                stalled = True
+                psi.stall_begin(self)
             if self._local_reclaim_active:
                 yield WaitEvent(self._local_reclaim_done)
                 continue
@@ -237,11 +245,13 @@ class MemCgroup:
             retries += 1
             if retries >= MAX_LOCAL_RECLAIM_RETRIES:
                 self.stats.limit_breaches += 1
-                return
+                break
             if system._evictions_in_flight:
                 yield from system.wait_eviction_batch()
             else:
                 yield Sleep(100 * US)
+        if stalled:
+            psi.stall_end(self)
 
     # ------------------------------------------------------------------
     # Page ownership

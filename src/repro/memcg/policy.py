@@ -180,6 +180,7 @@ class MemcgPolicy(ReplacementPolicy):
         requester: Optional["MemCgroup"] = getattr(
             system, "_reclaim_requester", None
         )
+        psi = system.psi
         total = 0
         passes = (
             (_weigh_soft, _weigh_low, _weigh_min, _weigh_usage)
@@ -201,6 +202,8 @@ class MemcgPolicy(ReplacementPolicy):
                     cg.stats.stolen_from += got
                     if requester is not None and requester is not cg:
                         requester.stats.stolen_by += got
+                        if psi is not None:
+                            psi.note_steal(requester.index, cg.index, got)
         return total
 
     # ------------------------------------------------------------------

@@ -358,6 +358,7 @@ class MetricsSession:
             if self.config.import_counters:
                 self._import_final_counters()
                 self._import_cache_counters()
+                self._import_psi_counters()
             if meta:
                 reg.meta.update(meta)
             reg.meta["runtime_ns"] = int(runtime_ns)
@@ -429,3 +430,44 @@ class MetricsSession:
                 help=self._CACHE_COUNTER_HELP.get(name, name),
                 unit="",
             ).inc(max(0, int(delta)))
+
+    def _import_psi_counters(self) -> None:
+        """Import trial-end PSI group totals when a tracker is
+        installed (``system.psi``); a no-op otherwise, so metrics-on
+        PSI-off registries are unchanged."""
+        tracker = getattr(self.system, "psi", None)
+        if tracker is None:
+            return
+        reg = self.registry
+        stall = reg.counter(
+            "repro_psi_memory_stall_us_total",
+            help="Memory pressure stall time per PSI group "
+            "(some = >=1 task stalled; full = stalled with no "
+            "productive task running).",
+            unit="microseconds",
+            labelnames=("group", "kind"),
+        )
+        ws = reg.counter(
+            "repro_workingset_total",
+            help="Workingset refault/activate/restore counters per "
+            "PSI group (shadow-entry refault distances).",
+            unit="pages",
+            labelnames=("group", "event"),
+        )
+        groups = [tracker.system] + list(tracker.groups)
+        for group in groups:
+            stall.labels(group=group.name, kind="some").inc(
+                group.some_total_ns // 1000
+            )
+            stall.labels(group=group.name, kind="full").inc(
+                group.full_total_ns // 1000
+            )
+            ws.labels(group=group.name, event="refault").inc(
+                group.ws_refault
+            )
+            ws.labels(group=group.name, event="activate").inc(
+                group.ws_activate
+            )
+            ws.labels(group=group.name, event="restore").inc(
+                group.ws_restore
+            )

@@ -132,6 +132,12 @@ class MemorySystem:
         #: policy reads.  None outside direct reclaim and for kswapd.
         self._reclaim_requester = None
         self._started = False
+        #: PSI tracker observer slot (None = PSI off).  Set by
+        #: :meth:`repro.psi.tracker.PsiTracker.install`; every
+        #: instrumented stall/workingset site gates on ``is None`` with
+        #: the same discipline as tracepoint module slots, so disabled
+        #: runs stay bit-identical.
+        self.psi = None
 
         policy.bind(self)
 
@@ -357,7 +363,16 @@ class MemorySystem:
             if inflight is None:
                 inflight = OneShotEvent("fault")
                 self._inflight_faults[page] = inflight
-            yield WaitEvent(inflight)
+            psi = self.psi
+            if psi is not None and page.swap_slot is not None:
+                # Thrashing wait (kernel folio_wait_bit memstall): the
+                # page is mid-swap-in on another thread's fault.  A
+                # minor-fault wait (no swap copy) is not a memstall.
+                psi.stall_begin(page.memcg)
+                yield WaitEvent(inflight)
+                psi.stall_end(page.memcg)
+            else:
+                yield WaitEvent(inflight)
             if not page.present:
                 yield from self.handle_fault(page, write)
                 return
@@ -383,7 +398,16 @@ class MemorySystem:
             major = page.swap_slot is not None
             if major:
                 self.stats.major_faults += 1
-                yield from self.swap_device.read(page)
+                psi = self.psi
+                if psi is not None:
+                    # Swap-in device wait (kernel swap_read_folio /
+                    # psi_memstall around submit_bio + wait).
+                    psi.stall_begin(cg)
+                    yield from self.swap_device.read(page)
+                    psi.stall_end(cg)
+                    psi.note_refault(page)
+                else:
+                    yield from self.swap_device.read(page)
                 shadow = self.swap.refault(page)
                 if shadow is not None:
                     self.stats.refaults += 1
@@ -439,11 +463,21 @@ class MemorySystem:
         published as ``_reclaim_requester`` so the memcg root policy
         can attribute cross-tenant steals."""
         retries = 0
+        psi = self.psi
+        stalled = False
         while True:
             if not self.frames.below_min():
                 frame = self.frames.alloc(charge=memcg)
                 if frame is not None:
+                    if stalled:
+                        psi.stall_end(memcg)
                     return frame
+            # Allocation stall begins here (kernel psi_memstall_enter in
+            # try_to_free_pages): running direct reclaim *and* waiting
+            # behind another thread's round both count.
+            if psi is not None and not stalled:
+                stalled = True
+                psi.stall_begin(memcg)
             if self._direct_reclaim_active:
                 yield WaitEvent(self._direct_reclaim_done)
                 continue
@@ -473,6 +507,8 @@ class MemorySystem:
             if reclaimed == 0:
                 retries += 1
                 if retries >= MAX_DIRECT_RECLAIM_RETRIES:
+                    if stalled:
+                        psi.stall_end(memcg)
                     raise OutOfMemoryError(
                         f"direct reclaim made no progress after "
                         f"{retries} retries ({self.frames.n_free} free)"
@@ -490,6 +526,8 @@ class MemorySystem:
                 retries = 0
             frame = self.frames.alloc(charge=memcg)
             if frame is not None:
+                if stalled:
+                    psi.stall_end(memcg)
                 return frame
 
     # ------------------------------------------------------------------
@@ -589,7 +627,13 @@ class MemorySystem:
                 # Clean page with a valid swap copy: free drop, no I/O.
                 self.swap.set_shadow(page, self.policy.make_shadow(page))
                 drops.append(page)
+        psi = self.psi
         if drops:
+            if psi is not None:
+                # Workingset shadow stamps, at the same instant as the
+                # policy shadow store above (kernel workingset_eviction).
+                for page in drops:
+                    psi.note_eviction(page)
             self._finish_evictions(drops)
             evicted += len(drops)
             if tp_evict is not None:
@@ -638,6 +682,9 @@ class MemorySystem:
                     self.swap.set_shadow(page, self.policy.make_shadow(page))
                 finished.append(page)
             if finished:
+                if psi is not None:
+                    for page in finished:
+                        psi.note_eviction(page)
                 self._finish_evictions(finished)
                 evicted += len(finished)
                 if tp_evict is not None:

@@ -1,0 +1,58 @@
+"""PSI accounting configuration.
+
+A :class:`PsiConfig` is a frozen dataclass like ``TraceConfig``: safe
+to hash, pickle into ``REPRO_JOBS`` workers, and carry alongside a
+fleet sweep.  It deliberately is **not** a field of ``FleetConfig`` —
+the fleet sink digests ``FleetConfig.to_dict()`` to guard resumes, and
+PSI is a pure observer that must never change what a sweep *is*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro._units import MS
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PsiConfig:
+    """Knobs for one trial's pressure-stall accounting.
+
+    The sampler wakes every ``sample_interval_ns`` of *simulated* time
+    (default: the vmstat cadence) and folds the elapsed stall time into
+    the running averages, mirroring the kernel's ``psi_avgs_work``
+    (which runs every 2 s of wall time).  ``avg_windows_s`` are the
+    EWMA half-life windows — the kernel's fixed 10/60/300 s by default.
+    ``trigger_some_us`` / ``trigger_full_us`` arm kernel-style PSI
+    triggers: when one sampling period accumulates at least that much
+    stall time, a ``psi_trigger`` tracepoint fires (None = disarmed,
+    the default, so PSI never emits events unless asked).
+    """
+
+    #: Simulated time between EWMA updates / ``psi_sample`` events.
+    sample_interval_ns: int = 10 * MS
+    #: Hard cap on sampler ticks (bounds the retained sample series).
+    max_samples: int = 1 << 16
+    #: EWMA windows in seconds; kernel defaults (avg10/avg60/avg300).
+    avg_windows_s: Tuple[float, ...] = (10.0, 60.0, 300.0)
+    #: Fire ``psi_trigger`` when one period's *some* stall reaches this
+    #: many microseconds (None = never).
+    trigger_some_us: Optional[int] = None
+    #: Same for *full* stall.
+    trigger_full_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_ns < 1:
+            raise ConfigError("PSI sample interval must be >= 1 ns")
+        if self.max_samples < 1:
+            raise ConfigError("PSI needs at least one sample slot")
+        if len(self.avg_windows_s) != 3:
+            raise ConfigError("PSI wants exactly three EWMA windows")
+        for window in self.avg_windows_s:
+            if window <= 0:
+                raise ConfigError("PSI EWMA windows must be positive")
+        for trig in (self.trigger_some_us, self.trigger_full_us):
+            if trig is not None and trig < 0:
+                raise ConfigError("PSI trigger thresholds must be >= 0")

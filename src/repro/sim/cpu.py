@@ -66,6 +66,9 @@ class CPU:
         self._armed_rate = 0.0
         #: Integral of busy logical CPUs over time (ns·cpus).
         self.busy_cpu_ns = 0.0
+        #: PSI tracker observer slot (None = PSI off; same gate
+        #: discipline as the tracepoint module slots).
+        self.psi = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,6 +137,13 @@ class CPU:
             self._engine.schedule1(delay, self._on_timer, version)
         if _tp.sched_runnable is not None:
             _tp.sched_runnable(n)
+        psi = self.psi
+        if psi is not None:
+            # A job of a memstalled thread (reclaim CPU burn) is
+            # unproductive; anything else keeps the system out of
+            # *full* stall.  ``in_memstall`` cannot change while this
+            # job is in flight — the owning generator is suspended.
+            psi.cpu_begin(thread.in_memstall)
 
     def _advance(self) -> None:
         """Accrue service up to the current instant."""
@@ -213,5 +223,11 @@ class CPU:
             self._engine.schedule1(delay, self._on_timer, version)
         if _tp.sched_runnable is not None:
             _tp.sched_runnable(n)
+        psi = self.psi
+        if psi is not None:
+            # Completions are accounted before any thread resumes, so
+            # each ``in_memstall`` is still the value it had at submit.
+            for thread in done:
+                psi.cpu_end(thread.in_memstall)
         for thread in done:
             thread._step(None)

@@ -62,6 +62,11 @@ class Engine:
         self._now = 0
         self._seq = 0
         self._threads: list[SimThread] = []
+        #: The thread whose generator is currently executing (set at the
+        #: top of :meth:`SimThread._step`).  Observability-only — PSI
+        #: stall accounting reads it to attribute stalls to the calling
+        #: thread; nothing in the simulation proper depends on it.
+        self.current_thread: Optional[SimThread] = None
         self._running = False
         #: Live non-daemon threads (kept incrementally; checked per event).
         self._n_live_foreground = 0

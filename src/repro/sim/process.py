@@ -52,6 +52,7 @@ class SimThread:
         "done_event",
         "compute_requested_ns",
         "finish_time_ns",
+        "in_memstall",
     )
 
     def __init__(
@@ -80,6 +81,10 @@ class SimThread:
         self.compute_requested_ns = 0
         #: Simulated time at which the thread finished (None if running).
         self.finish_time_ns: Optional[int] = None
+        #: Memory-stall depth (kernel ``task->in_memstall`` analog),
+        #: maintained by the PSI tracker; stable while a Compute is in
+        #: flight because the generator is suspended at that yield.
+        self.in_memstall = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self._finished else "live"
@@ -112,6 +117,9 @@ class SimThread:
             raise SimulationError(f"thread {self.name!r} resumed after finish")
         self._started = True
         engine = self._engine
+        # Observability: anything the generator calls below (PSI stall
+        # sites in particular) can attribute itself to this thread.
+        engine.current_thread = self
         while True:
             try:
                 command = self._gen.send(value)

@@ -22,7 +22,7 @@ Three views the paper's characterization leans on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,20 +31,31 @@ from repro.trace.session import TraceCapture
 
 @dataclass
 class RefaultHistogram:
-    """Log2-bucketed inter-refault distances (nanoseconds)."""
+    """Log2-bucketed inter-refault distances (nanoseconds).
+
+    ``major``/``minor`` split the pooled distances by the *cost of the
+    eviction the refault undoes*: a **major** refault follows an
+    eviction that paid a device write-back (dirty page), a **minor**
+    refault follows a clean drop (the swap copy was still valid, so
+    the eviction was free).  Pooling the two hides the zram-vs-ssd
+    distinction — on SSD the write-back round-trip dominates, on zram
+    clean drops and write-backs cost nearly the same — so the split is
+    what makes the histogram comparable across swap backends.
+    """
 
     #: (bucket lower bound ns, count), ascending.
     buckets: List[Tuple[int, int]]
     n_refaults: int
     median_ns: float
     p90_ns: float
+    #: Refaults whose eviction wrote the page back (None on the leaves).
+    major: Optional["RefaultHistogram"] = None
+    #: Refaults whose eviction was a clean drop (None on the leaves).
+    minor: Optional["RefaultHistogram"] = None
 
 
-def refault_distance_histogram(capture: TraceCapture) -> RefaultHistogram:
-    """Histogram of time between eviction and re-fault per page."""
-    recs = capture.events_named("mm_vmscan_refault")
-    distances = recs["b"].astype(np.int64)
-    distances = distances[distances >= 0]
+def _bucketize(distances: np.ndarray) -> "RefaultHistogram":
+    """One leaf histogram from a distance vector (no further split)."""
     if distances.shape[0] == 0:
         return RefaultHistogram(
             buckets=[], n_refaults=0, median_ns=0.0, p90_ns=0.0
@@ -60,6 +71,61 @@ def refault_distance_histogram(capture: TraceCapture) -> RefaultHistogram:
         median_ns=float(np.median(distances)),
         p90_ns=float(np.percentile(distances, 90)),
     )
+
+
+def _refault_wrote_back(capture: TraceCapture) -> np.ndarray:
+    """Per-``mm_vmscan_refault`` event: did the eviction it undoes
+    write the page back?
+
+    Correlates each refault with the page's most recent
+    ``mm_vmscan_evict`` record (payload ``c`` is ``wrote_back``) in
+    timestamp order.  A refault whose eviction fell outside the capture
+    window (ring wrap, or eviction tracepoint not selected) defaults to
+    written-back — a refault always implies a prior eviction.
+    """
+    rf = capture.events_named("mm_vmscan_refault")
+    ev = capture.events_named("mm_vmscan_evict")
+    out = np.ones(rf.shape[0], dtype=bool)
+    if rf.shape[0] == 0 or ev.shape[0] == 0:
+        return out
+    ev_ts = ev["ts"]
+    ev_vpn = ev["a"]
+    ev_wb = ev["c"]
+    rf_ts = rf["ts"]
+    rf_vpn = rf["a"]
+    last_wb: Dict[int, bool] = {}
+    i = 0
+    n_ev = ev.shape[0]
+    for j in range(rf.shape[0]):
+        t = rf_ts[j]
+        # The eviction strictly precedes the refault in sim time (the
+        # swap-in device wait is never zero), so consuming evictions
+        # with ts <= refault ts keeps the newest eviction per vpn.
+        while i < n_ev and ev_ts[i] <= t:
+            last_wb[int(ev_vpn[i])] = bool(ev_wb[i])
+            i += 1
+        got = last_wb.get(int(rf_vpn[j]))
+        if got is not None:
+            out[j] = got
+    return out
+
+
+def refault_distance_histogram(capture: TraceCapture) -> RefaultHistogram:
+    """Histogram of time between eviction and re-fault per page,
+    pooled plus the major (written-back) / minor (clean-drop) split."""
+    recs = capture.events_named("mm_vmscan_refault")
+    distances = recs["b"].astype(np.int64)
+    valid = distances >= 0
+    distances = distances[valid]
+    if distances.shape[0] == 0:
+        return RefaultHistogram(
+            buckets=[], n_refaults=0, median_ns=0.0, p90_ns=0.0
+        )
+    wrote_back = _refault_wrote_back(capture)[valid]
+    pooled = _bucketize(distances)
+    pooled.major = _bucketize(distances[wrote_back])
+    pooled.minor = _bucketize(distances[~wrote_back])
+    return pooled
 
 
 def cost_breakdown(capture: TraceCapture) -> Dict[str, int]:
@@ -176,6 +242,19 @@ def summarize(capture: TraceCapture) -> str:
         for lower, count in hist.buckets:
             bar = "#" * max(1, int(40 * count / peak))
             lines.append(f"  >= {lower / 1e6:>10.3f} ms  {count:>8}  {bar}")
+        for label, sub in (("major", hist.major), ("minor", hist.minor)):
+            if sub is None or sub.n_refaults == 0:
+                continue
+            kind = (
+                "written-back evictions"
+                if label == "major"
+                else "clean drops"
+            )
+            lines.append(
+                f"  {label} ({kind}): {sub.n_refaults} | "
+                f"median {sub.median_ns / 1e6:.3f} ms | "
+                f"p90 {sub.p90_ns / 1e6:.3f} ms"
+            )
     else:
         lines.append("  none recorded")
 

@@ -389,6 +389,10 @@ def save_capture(
                         "dropped_events": capture.dropped_events,
                         "vmstat_interval_ns": series.interval_ns,
                         "vmstat_truncated": series.truncated,
+                        # Column-set version: loaders of pre-PSI
+                        # captures (no such key) default to 1.
+                        "vmstat_version": series.version,
+                        "vmstat_columns": list(series.columns),
                         "meta": capture.meta,
                         "config": {
                             "enabled": capture.config.enabled,
@@ -428,6 +432,11 @@ def load_capture(path: pathlib.Path) -> TraceCapture:
                 if key.startswith("vm_")
             },
             truncated=bool(header.get("vmstat_truncated", False)),
+            # Captures written before the PSI columns existed carry no
+            # version key: they are column-set version 1 and reload
+            # with exactly the columns they were saved with (the
+            # ``vm_``-prefix scan above is column-set agnostic).
+            version=int(header.get("vmstat_version", 1)),
         )
         return TraceCapture(
             config=TraceConfig(**config_dict),

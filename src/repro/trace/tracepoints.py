@@ -53,6 +53,9 @@ TRACEPOINTS: Dict[str, Tuple[str, str, str]] = {
     "mglru_tier_promote": ("vpn", "tier", "unused"),
     # -- scheduler -----------------------------------------------------
     "sched_runnable": ("n_runnable", "unused", "unused"),
+    # -- PSI (appended: EVENT_IDS are order-dependent) -------------------
+    "psi_sample": ("group", "some_avg10_pct_x100", "full_avg10_pct_x100"),
+    "psi_trigger": ("group", "is_full", "stall_us"),
 }
 
 #: Numeric event ids for ring-buffer storage (0 is reserved: empty slot).

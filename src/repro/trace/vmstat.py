@@ -61,7 +61,26 @@ GAUGES = (
     "cpu_runnable",
 )
 
-COUNTERS = MM_COUNTERS + DERIVED_COUNTERS
+#: PSI stall + workingset counters (column-set **version 2**): read
+#: from ``system.psi`` when a tracker is installed, constant zero
+#: otherwise (still monotone, so the column contract is uniform).
+#: Kept out of ``MM_COUNTERS``/``DERIVED_COUNTERS`` — those two tuples
+#: name ``MMStats``/owner attributes that other readers (the metrics
+#: finalizer) iterate with ``getattr``.
+PSI_COUNTERS = (
+    "psi_some_total_ns",
+    "psi_full_total_ns",
+    "workingset_refault",
+    "workingset_activate",
+    "workingset_restore",
+)
+
+#: Version of the sampled column set, written into npz capture headers
+#: so pre-PSI captures (implicitly version 1) keep round-tripping.
+#: 1 = MM_COUNTERS + DERIVED_COUNTERS + GAUGES; 2 = + PSI_COUNTERS.
+VMSTAT_VERSION = 2
+
+COUNTERS = MM_COUNTERS + DERIVED_COUNTERS + PSI_COUNTERS
 ALL_FIELDS = COUNTERS + GAUGES
 
 
@@ -75,6 +94,9 @@ class VmStatSeries:
     #: True when the periodic sampler hit its row cap before trial end
     #: (the final teardown snapshot is still always present).
     truncated: bool = False
+    #: Column-set version this series was recorded with (captures
+    #: loaded from pre-PSI npz files report 1; see VMSTAT_VERSION).
+    version: int = VMSTAT_VERSION
 
     @property
     def n_samples(self) -> int:
@@ -130,6 +152,20 @@ class VmStatSampler:
         rows["swap_writes"].append(dev.writes)
         rows["swap_slot_stores"].append(system.swap.stores)
         rows["swap_slot_loads"].append(system.swap.loads)
+        psi = getattr(system, "psi", None)
+        if psi is None:
+            rows["psi_some_total_ns"].append(0)
+            rows["psi_full_total_ns"].append(0)
+            rows["workingset_refault"].append(0)
+            rows["workingset_activate"].append(0)
+            rows["workingset_restore"].append(0)
+        else:
+            some_ns, full_ns, ws_r, ws_a, ws_s = psi.system_totals()
+            rows["psi_some_total_ns"].append(some_ns)
+            rows["psi_full_total_ns"].append(full_ns)
+            rows["workingset_refault"].append(ws_r)
+            rows["workingset_activate"].append(ws_a)
+            rows["workingset_restore"].append(ws_s)
         rows["free_frames"].append(system.frames.n_free)
         rows["resident_pages"].append(system.policy.resident_count())
         rows["swap_slots_used"].append(system.swap.n_used)

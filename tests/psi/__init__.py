@@ -1,0 +1,1 @@
+"""PSI accounting suite."""

@@ -1,0 +1,131 @@
+"""The refault-distance histogram's major/minor eviction-cost split.
+
+Synthetic captures with hand-placed ``mm_vmscan_evict`` /
+``mm_vmscan_refault`` records pin the correlation rules: a refault is
+*major* when the newest preceding eviction of its page wrote back,
+*minor* after a clean drop, and defaults to major when the eviction
+fell outside the capture window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._units import MS
+from repro.trace.analyze import refault_distance_histogram, summarize
+from repro.trace.config import TraceConfig
+from repro.trace.ringbuf import EVENT_DTYPE
+from repro.trace.session import TraceCapture
+from repro.trace.tracepoints import EVENT_IDS
+from repro.trace.vmstat import VmStatSeries
+
+EVICT = EVENT_IDS["mm_vmscan_evict"]
+REFAULT = EVENT_IDS["mm_vmscan_refault"]
+
+
+def _capture(events) -> TraceCapture:
+    """events: (ts, ev, a, b, c) tuples, already time-ordered."""
+    arr = np.zeros(len(events), dtype=EVENT_DTYPE)
+    for i, (ts, ev, a, b, c) in enumerate(events):
+        arr[i] = (ts, ev, a, b, c)
+    series = VmStatSeries(
+        interval_ns=MS, times_ns=np.zeros(0, np.int64), columns={}
+    )
+    return TraceCapture(
+        config=TraceConfig(),
+        events=arr,
+        total_events=len(events),
+        dropped_events=0,
+        vmstat=series,
+        meta={},
+    )
+
+
+def test_split_follows_the_evictions_write_back_flag():
+    # vpn 1: written-back eviction, vpn 2: clean drop, then one
+    # refault each.  evict payload: (vpn, latency_ns, wrote_back);
+    # refault payload: (vpn, inter_refault_ns, refault_count).
+    capture = _capture([
+        (100, EVICT, 1, 0, 1),
+        (200, EVICT, 2, 0, 0),
+        (1100, REFAULT, 1, 1000, 1),
+        (2200, REFAULT, 2, 2000, 1),
+    ])
+    hist = refault_distance_histogram(capture)
+    assert hist.n_refaults == 2
+    assert hist.major.n_refaults == 1
+    assert hist.minor.n_refaults == 1
+    assert hist.major.median_ns == 1000.0
+    assert hist.minor.median_ns == 2000.0
+    # The split partitions the pooled population.
+    pooled = sum(count for _, count in hist.buckets)
+    split = sum(count for _, count in hist.major.buckets) + sum(
+        count for _, count in hist.minor.buckets
+    )
+    assert pooled == split == 2
+
+
+def test_newest_preceding_eviction_wins():
+    # vpn 5 is evicted clean, refaults, is evicted dirty, refaults:
+    # first refault is minor, second major.
+    capture = _capture([
+        (100, EVICT, 5, 0, 0),
+        (1100, REFAULT, 5, 1000, 1),
+        (2000, EVICT, 5, 0, 1),
+        (4000, REFAULT, 5, 2000, 2),
+    ])
+    hist = refault_distance_histogram(capture)
+    assert hist.minor.n_refaults == 1
+    assert hist.minor.median_ns == 1000.0
+    assert hist.major.n_refaults == 1
+    assert hist.major.median_ns == 2000.0
+
+
+def test_refault_without_captured_eviction_defaults_major():
+    # Ring wrap (or eviction tracepoint not selected): no evict record.
+    capture = _capture([(1100, REFAULT, 9, 1000, 1)])
+    hist = refault_distance_histogram(capture)
+    assert hist.major.n_refaults == 1
+    assert hist.minor.n_refaults == 0
+
+
+def test_negative_distances_are_filtered_before_the_split():
+    # A refault with no recorded inter-refault distance (b = -1) is
+    # dropped from the histogram and from both split legs.
+    capture = _capture([
+        (100, EVICT, 1, 0, 1),
+        (1100, REFAULT, 1, -1, 1),
+        (2100, REFAULT, 1, 1000, 2),
+    ])
+    hist = refault_distance_histogram(capture)
+    assert hist.n_refaults == 1
+    assert hist.major.n_refaults == 1
+    assert hist.minor.n_refaults == 0
+
+
+def test_empty_capture_yields_empty_histogram():
+    hist = refault_distance_histogram(_capture([]))
+    assert hist.n_refaults == 0
+    assert hist.major is None and hist.minor is None
+
+
+def test_summarize_renders_the_split_lines():
+    capture = _capture([
+        (100, EVICT, 1, 0, 1),
+        (200, EVICT, 2, 0, 0),
+        (1100, REFAULT, 1, 1000, 1),
+        (2200, REFAULT, 2, 2000, 1),
+    ])
+    text = summarize(capture)
+    assert "major (written-back evictions): 1" in text
+    assert "minor (clean drops): 1" in text
+
+
+def test_fleet_free_capture_split_on_real_trial(capture):
+    """On the shared traced trial both legs stay consistent with the
+    pooled histogram (counts partition, medians bracket)."""
+    hist = refault_distance_histogram(capture)
+    if hist.n_refaults == 0:
+        return
+    assert hist.major is not None and hist.minor is not None
+    assert hist.major.n_refaults + hist.minor.n_refaults == hist.n_refaults

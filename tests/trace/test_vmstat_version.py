@@ -1,0 +1,97 @@
+"""Vmstat column-set versioning: v2 round-trips, pre-PSI files load.
+
+Version 1 is the pre-PSI column set; version 2 appends the
+``PSI_COUNTERS``.  New captures save version 2; a capture written
+before the version key existed must still round-trip — it loads as
+version 1 with exactly the columns it was saved with.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.trace.export import load_capture, save_capture
+from repro.trace.vmstat import (
+    ALL_FIELDS,
+    PSI_COUNTERS,
+    VMSTAT_VERSION,
+    VmStatSeries,
+)
+
+
+def test_current_column_set_is_version_2_with_psi_counters():
+    assert VMSTAT_VERSION == 2
+    for name in PSI_COUNTERS:
+        assert name in ALL_FIELDS
+    assert VmStatSeries(
+        interval_ns=1, times_ns=np.zeros(0, np.int64), columns={}
+    ).version == VMSTAT_VERSION
+
+
+def test_capture_roundtrips_version_and_psi_columns(capture, tmp_path):
+    """The shared traced trial (PSI off) still samples the v2 column
+    set — PSI columns as constant zeros — and round-trips it."""
+    assert capture.vmstat.version == 2
+    for name in PSI_COUNTERS:
+        col = capture.vmstat.columns[name]
+        assert col.shape == capture.vmstat.times_ns.shape
+        assert not col.any()  # PSI off: zero-filled, still monotone
+
+    path = tmp_path / "capture.npz"
+    save_capture(capture, path)
+    loaded = load_capture(path)
+    assert loaded.vmstat.version == 2
+    assert set(loaded.vmstat.columns) == set(capture.vmstat.columns)
+    for name, col in capture.vmstat.columns.items():
+        np.testing.assert_array_equal(loaded.vmstat.columns[name], col)
+
+
+def _strip_to_pre_psi(src, dst) -> None:
+    """Rewrite a saved capture as a pre-PSI artifact: drop the PSI
+    columns and delete the version keys from the header, exactly what
+    a file written before this column set existed looks like."""
+    with np.load(src, allow_pickle=False) as data:
+        payload = {k: np.asarray(data[k]) for k in data.files}
+    header = json.loads(str(payload["header"][0]))
+    del header["vmstat_version"]
+    del header["vmstat_columns"]
+    payload["header"] = np.array([json.dumps(header)])
+    for name in PSI_COUNTERS:
+        payload.pop(f"vm_{name}", None)
+    np.savez_compressed(dst, **payload)
+
+
+def test_pre_psi_capture_loads_as_version_1(capture, tmp_path):
+    v2_path = tmp_path / "v2.npz"
+    save_capture(capture, v2_path)
+    v1_path = tmp_path / "v1.npz"
+    _strip_to_pre_psi(v2_path, v1_path)
+
+    loaded = load_capture(v1_path)
+    assert loaded.vmstat.version == 1
+    for name in PSI_COUNTERS:
+        assert name not in loaded.vmstat.columns
+    # Every v1 column survives untouched; consumers that only use the
+    # v1 set (final counters, timeline) keep working.
+    for name, col in capture.vmstat.columns.items():
+        if name in PSI_COUNTERS:
+            continue
+        np.testing.assert_array_equal(loaded.vmstat.columns[name], col)
+    final = loaded.vmstat.final()
+    assert "major_faults" in final and "psi_some_total_ns" not in final
+
+
+def test_loaded_v1_capture_resaves_as_v1(capture, tmp_path):
+    """Version sticks through a load/save cycle — resaving an old
+    capture must not silently claim the v2 column contract."""
+    v2_path = tmp_path / "v2.npz"
+    save_capture(capture, v2_path)
+    v1_path = tmp_path / "v1.npz"
+    _strip_to_pre_psi(v2_path, v1_path)
+
+    reloaded = load_capture(v1_path)
+    resaved = tmp_path / "resaved.npz"
+    save_capture(reloaded, resaved)
+    assert load_capture(resaved).vmstat.version == 1
