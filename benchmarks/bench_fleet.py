@@ -229,6 +229,90 @@ def bench_psi_overhead(args) -> dict:
     return out
 
 
+def _strip_spans(row: dict) -> dict:
+    """A spans-on row with every ``spans`` section removed — must equal
+    the spans-off row byte-for-byte (the recorder is a pure observer)."""
+    out = {k: v for k, v in row.items() if k != "spans"}
+    out["tenants"] = [
+        {k: v for k, v in t.items() if k != "spans"} for t in row["tenants"]
+    ]
+    return out
+
+
+def bench_spans_overhead(args) -> dict:
+    """Spans-on wall-clock overhead gate, both cells x both lanes.
+
+    Same shape as :func:`bench_psi_overhead`: interleaved best-of-
+    ``--repeats`` timing per (cell, lane), purity (the spans-on row
+    minus its ``spans`` sections must equal the spans-off row exactly)
+    and the exactness contract (each tenant's span-table fault time
+    equals its fault histogram's exact sum, to the nanosecond) on
+    every row.
+
+    The overhead budget differs per cell because span cost is
+    per *fault*, not per request.  The serving cell runs at the full
+    ``--fastlane-requests`` size (unlike PSI's shrunk copy) so its
+    fixed fault population is amortized over real serving work, and
+    both its lanes are gated at ``--max-spans-overhead`` (default
+    25%; the scalar lane lands near 5%, the vectorized lane serves
+    requests so fast that the same per-fault work is a larger
+    fraction of a much smaller wall).  The pressure cell thrashes by
+    construction — nearly every event is in the fault path the
+    recorder brackets — so it is gated only by a fixed 100% canary
+    ceiling that catches per-fault-cost regressions.
+    """
+    pressure_ceiling = 1.0
+    cells = {
+        "pressure": big_fleet_config(args.tenants, args.requests),
+        "serving": fastlane_config(args.tenants, args.fastlane_requests),
+    }
+    out = {
+        "max_overhead": args.max_spans_overhead,
+        "pressure_ceiling": pressure_ceiling,
+        "cells": {},
+    }
+    for cell_name, config in cells.items():
+        ceiling = (
+            pressure_ceiling
+            if cell_name == "pressure"
+            else args.max_spans_overhead
+        )
+        cell_out = {}
+        for lane_name, fast in (("fast", True), ("scalar", False)):
+            walls = {"off": [], "on": []}
+            rows = {}
+            for _ in range(max(1, args.repeats)):
+                for mode, spans in (("off", False), ("on", True)):
+                    t0 = time.perf_counter()
+                    row = run_fleet_trial(
+                        config, "mglru", 4242, fast_fleet=fast, spans=spans
+                    )
+                    walls[mode].append(time.perf_counter() - t0)
+                    rows[mode] = row
+            identical = json.dumps(
+                _strip_spans(rows["on"]), sort_keys=True
+            ) == json.dumps(rows["off"], sort_keys=True)
+            exact = all(
+                t["spans"]["total_ns"] == t["fault_hist"]["sum"]
+                and t["spans"]["faults"] == t["fault_hist"]["count"]
+                for t in rows["on"]["tenants"]
+            )
+            best_off = min(walls["off"])
+            best_on = min(walls["on"])
+            overhead = best_on / best_off - 1.0
+            cell_out[lane_name] = {
+                "off_wall_s": round(best_off, 3),
+                "on_wall_s": round(best_on, 3),
+                "overhead": round(overhead, 4),
+                "ceiling": ceiling,
+                "overhead_ok": overhead <= ceiling,
+                "rows_identical": identical,
+                "tenant_spans_exact": exact,
+            }
+        out["cells"][cell_name] = cell_out
+    return out
+
+
 def _tenant_p99_slo(rows) -> list:
     """Sorted, comparable (policy, seed, tenant, p99 bucket sig, slo)."""
     from repro.metrics.registry import Histogram
@@ -334,6 +418,14 @@ def main(argv=None) -> int:
         "(cell, lane) (default 0.05 = 5%%)",
     )
     parser.add_argument(
+        "--max-spans-overhead",
+        type=float,
+        default=0.25,
+        help="spans-on vs spans-off wall-clock overhead gate on the "
+        "serving cell's lanes (default 0.25 = 25%%); the thrash-by-"
+        "construction pressure cell uses a fixed 100%% canary ceiling",
+    )
+    parser.add_argument(
         "--output",
         default=str(
             pathlib.Path(__file__).parent / "output" / "BENCH_fleet.json"
@@ -348,6 +440,7 @@ def main(argv=None) -> int:
     scale = bench_scale(args)
     fast_lane = bench_fast_lane(args)
     psi = bench_psi_overhead(args)
+    spans = bench_spans_overhead(args)
 
     result = {
         "benchmark": "fleet",
@@ -355,6 +448,7 @@ def main(argv=None) -> int:
         "fast_lane": fast_lane,
         "identity": identity,
         "psi": psi,
+        "spans": spans,
     }
     out_path = pathlib.Path(args.output)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -396,6 +490,24 @@ def main(argv=None) -> int:
                     f"psi {cell_name}/{lane_name}: overhead "
                     f"{cell['overhead']:.1%} exceeds gate "
                     f"{psi['max_overhead']:.0%}"
+                )
+    for cell_name, lanes in spans["cells"].items():
+        for lane_name, cell in lanes.items():
+            if not cell["rows_identical"]:
+                failures.append(
+                    f"spans {cell_name}/{lane_name}: spans-on row (minus "
+                    "spans sections) differs from spans-off row"
+                )
+            if not cell["tenant_spans_exact"]:
+                failures.append(
+                    f"spans {cell_name}/{lane_name}: tenant span totals "
+                    "do not equal fault-histogram sums exactly"
+                )
+            if not cell["overhead_ok"]:
+                failures.append(
+                    f"spans {cell_name}/{lane_name}: overhead "
+                    f"{cell['overhead']:.1%} exceeds gate "
+                    f"{cell['ceiling']:.0%}"
                 )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

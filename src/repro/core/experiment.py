@@ -29,6 +29,8 @@ from repro.mm.system import MemorySystem
 from repro.policies import make_policy
 from repro.sim.engine import Engine
 from repro.sim.rng import RngTree
+from repro.spans.config import SpansConfig
+from repro.spans.recorder import SpanRecorder
 from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
 from repro.trace.config import TraceConfig
 from repro.trace.session import TraceSession
@@ -73,6 +75,7 @@ def run_trial(
     seed: int,
     trace: Optional[TraceConfig] = None,
     metrics: Optional[MetricsConfig] = None,
+    spans: Optional[SpansConfig] = None,
     *,
     _seed_cell: Optional[Any] = None,
     _seed_row: int = 0,
@@ -84,9 +87,11 @@ def run_trial(
     trial's duration; the capture comes back on ``TrialResult.trace``.
     With ``metrics`` set (and enabled), a :class:`MetricsSession`
     attaches recorders to the metrics hooks and the aggregate registry
-    comes back on ``TrialResult.metrics_registry``.  Probes and
-    recorders are passive, so traced/metered trials are bit-identical
-    to bare ones.
+    comes back on ``TrialResult.metrics_registry``.  With ``spans``
+    set, a :class:`~repro.spans.SpanRecorder` installs in the observer
+    slots and the finished :class:`~repro.spans.SpanTable` comes back
+    on ``TrialResult.spans``.  Probes and recorders are passive, so
+    traced/metered/spanned trials are bit-identical to bare ones.
 
     ``_seed_cell``/``_seed_row`` are the seed-major fast lane's private
     context (see :mod:`repro.core.seedmajor`): this trial is row
@@ -123,6 +128,14 @@ def run_trial(
             metrics, system, cache_baseline=cache_baseline
         )
         mx_session.start()
+    recorder: Optional[SpanRecorder] = None
+    if spans is not None:
+        recorder = SpanRecorder(engine, spans)
+        recorder.install(system)
+        if spans.profile_interval_ns > 0:
+            engine.spawn(
+                recorder.run_profiler(), name="spans-profiler", daemon=True
+            )
     try:
         workload.setup(system)
         if _seed_cell is not None:
@@ -137,6 +150,8 @@ def run_trial(
             session.detach()
         if mx_session is not None:
             mx_session.detach()
+        if recorder is not None:
+            recorder.detach()
 
     stats = system.stats
     stats.rmap_walks = system.rmap.walk_count
@@ -159,6 +174,21 @@ def run_trial(
     if mx_session is not None:
         # Same ordering contract: finalize imports the fixed-up counters.
         registry = mx_session.finalize(runtime_ns, meta=trial_meta)
+        if capture is not None:
+            # Surface ring-buffer overflow where dashboards look: a
+            # nonzero value means the event CSV/Chrome trace is missing
+            # the oldest events and needs --capacity or --events.
+            registry.counter(
+                "repro_trace_dropped_events_total",
+                help="Trace events lost to ring-buffer overflow (oldest "
+                "dropped first); nonzero means the capture is "
+                "incomplete — raise ringbuf_capacity or select "
+                "fewer tracepoints.",
+                unit="events",
+            ).inc(capture.dropped_events)
+    span_table = None
+    if recorder is not None:
+        span_table = recorder.finalize(runtime_ns)
     wl_result = workload.result()
     counters = stats.snapshot()
     counters["swap_reads"] = system.swap_device.stats.reads
@@ -180,6 +210,7 @@ def run_trial(
         capacity_frames=capacity,
         trace=capture,
         metrics_registry=registry,
+        spans=span_table,
     )
 
 

@@ -11,6 +11,7 @@ from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.metrics.registry import MetricsRegistry
+    from repro.spans.recorder import SpanTable
     from repro.trace.session import TraceCapture
 
 
@@ -46,6 +47,11 @@ class TrialResult:
     #: Metrics registry when the trial ran with metering enabled.
     #: Excluded from equality for the same bit-identity reason.
     metrics_registry: Optional["MetricsRegistry"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Span table when the trial ran with span recording enabled.
+    #: Excluded from equality for the same bit-identity reason.
+    spans: Optional["SpanTable"] = field(
         default=None, compare=False, repr=False
     )
 

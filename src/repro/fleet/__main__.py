@@ -88,6 +88,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "rows; default: REPRO_PSI env, off)",
     )
     run.add_argument(
+        "--spans",
+        action="store_true",
+        default=None,
+        help="enable causal fault-span recording (adds a 'spans' "
+        "section to rows; default: REPRO_SPANS env, off)",
+    )
+    run.add_argument(
+        "--spans-sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --spans: retain the full record of every Nth fault "
+        "(aggregates always cover all faults; default: "
+        "REPRO_SPANS_SAMPLE, else 1)",
+    )
+    run.add_argument(
         "--lane-stats-out",
         default=None,
         help="write this invocation's serving-lane counters as JSON "
@@ -140,6 +156,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_cpus=args.cpus,
     )
     seeds = [args.base_seed + i for i in range(args.seeds)]
+    spans = args.spans
+    if spans and args.spans_sample is not None:
+        from repro.spans import SpansConfig
+
+        spans = SpansConfig(sample_every=max(1, args.spans_sample))
     lane_stats: dict = {}
     with JsonlSink(args.out, config.to_dict()) as sink:
         already = len(sink.completed)
@@ -154,6 +175,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_trials=args.max_trials,
             progress=print,
             psi=args.psi,
+            spans=spans,
             lane_stats=lane_stats,
         )
         total = len(policies) * len(seeds)

@@ -143,6 +143,78 @@ def fleet_summary(per_tenant: Dict[int, TenantAgg]) -> Dict[str, float]:
     }
 
 
+def aggregate_spans(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """policy -> merged :class:`~repro.spans.SpanTable` from row dumps.
+
+    Rows carry a full ``spans`` table (``repro.spans/v1``) only when
+    the sweep ran with ``REPRO_SPANS``/``--spans``.  Merging in sorted
+    (policy, seed) order makes the result independent of append order,
+    so serial / ``REPRO_JOBS`` / resumed sweeps aggregate identically.
+    """
+    from repro.spans.recorder import SpanTable
+
+    out: Dict[str, Any] = {}
+    for row in sorted(rows, key=lambda r: (str(r["policy"]), int(r["seed"]))):
+        obj = row.get("spans")
+        if obj is None:
+            continue
+        table = SpanTable.from_obj(obj)
+        table.tag(f"seed{int(row['seed'])}")
+        policy = str(row["policy"])
+        if policy in out:
+            out[policy].merge(table)
+        else:
+            out[policy] = table
+    return out
+
+
+def _spans_section(
+    span_tables: Dict[str, Any], top: int
+) -> List[str]:
+    """``## Critical path (spans)`` markdown lines: per-policy exact
+    segment decomposition of all fault time, plus the slowest spans
+    with their dominant segment and instigator."""
+    from repro.spans.report import segment_share_rows, top_span_rows
+
+    parts: List[str] = []
+    for policy in sorted(span_tables):
+        table = span_tables[policy]
+        parts.append(
+            f"### {policy}: {table.n_faults} faults "
+            f"({table.n_major} major), "
+            f"total fault time {table.total_ns / 1e6:.3f}ms"
+        )
+        parts.append("")
+        parts.append(
+            _md_table(
+                ["segment", "time", "share", "faults", "mean/fault"],
+                segment_share_rows(table),
+            )
+        )
+        parts.append("")
+        span_rows = top_span_rows(table)[:top]
+        if span_rows:
+            parts.append(f"#### slowest {len(span_rows)} spans")
+            parts.append("")
+            parts.append(
+                _md_table(
+                    [
+                        "trial",
+                        "thread",
+                        "group",
+                        "vpn",
+                        "kind",
+                        "total",
+                        "dominant segment",
+                        "instigator",
+                    ],
+                    span_rows,
+                )
+            )
+            parts.append("")
+    return parts
+
+
 def aggregate_steals(
     rows: List[Dict[str, Any]]
 ) -> Dict[str, Dict[Tuple[int, int], int]]:
@@ -266,6 +338,8 @@ def render_markdown(
     When any row carries a ``psi`` section (the sweep ran with
     ``REPRO_PSI``/``--psi``) an *SLO-violation attribution* section is
     appended; PSI-off sinks render byte-identically to pre-PSI reports.
+    Likewise a ``spans`` section (``REPRO_SPANS``/``--spans``) opts
+    into a *Critical path* section built from the merged span tables.
     ``lane_stats`` (the accumulator :func:`repro.fleet.runner.run_sweep`
     fills) opts into a *Serving lanes* section — opt-in because lane
     trial counts legitimately differ between the scalar and fast lanes
@@ -364,6 +438,10 @@ def render_markdown(
         parts.extend(
             _attribution_section(groups, aggregate_steals(rows), top)
         )
+    if any(row.get("spans") is not None for row in rows):
+        parts.append("## Critical path (spans)")
+        parts.append("")
+        parts.extend(_spans_section(aggregate_spans(rows), top))
     if lane_stats is not None:
         parts.append("## Serving lanes")
         parts.append("")

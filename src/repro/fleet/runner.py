@@ -37,7 +37,8 @@ WINDOW_PER_JOB = 4
 
 
 def _trial_job(
-    config: FleetConfig, policy: str, seed: int, psi: Any
+    config: FleetConfig, policy: str, seed: int, psi: Any,
+    spans: Any = None,
 ) -> Tuple[Dict[str, Any], Dict[str, int]]:
     """One trial plus its serving-lane counter delta.
 
@@ -47,7 +48,7 @@ def _trial_job(
     stats — they must stay byte-identical across lanes).
     """
     before = LANE_STATS.snapshot()
-    row = run_fleet_trial(config, policy, seed, psi=psi)
+    row = run_fleet_trial(config, policy, seed, psi=psi, spans=spans)
     after = LANE_STATS.snapshot()
     return row, {k: after[k] - before[k] for k in after}
 
@@ -83,6 +84,7 @@ def run_sweep(
     max_trials: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     psi: Any = None,
+    spans: Any = None,
     lane_stats: Optional[Dict[str, int]] = None,
 ) -> int:
     """Run the missing trials of the grid; returns how many ran.
@@ -90,8 +92,11 @@ def run_sweep(
     Every appended row is durable before the next trial starts, so an
     interrupt anywhere loses at most the in-flight trials.
 
-    ``psi`` is forwarded to :func:`run_fleet_trial` (``None`` lets each
-    trial read ``REPRO_PSI``).  ``lane_stats``, when given a dict,
+    ``psi`` and ``spans`` are forwarded to :func:`run_fleet_trial`
+    (``None`` lets each trial read ``REPRO_PSI`` / ``REPRO_SPANS``;
+    every sweep trial — worker-pool ones included — gets the same
+    setting, so serial and ``REPRO_JOBS`` sweeps of one cell produce
+    identical rows).  ``lane_stats``, when given a dict,
     accumulates the serving-lane counter deltas (requests, residue,
     batches, lane trial counts) of exactly the trials this invocation
     ran — worker-process counters included.
@@ -115,7 +120,9 @@ def run_sweep(
             futures = {}
             for policy, seed in feed:
                 futures[
-                    pool.submit(_trial_job, config, policy, seed, psi)
+                    pool.submit(
+                        _trial_job, config, policy, seed, psi, spans
+                    )
                 ] = (policy, seed)
                 if len(futures) >= window:
                     break
@@ -131,13 +138,15 @@ def run_sweep(
                 # Refill the window: one new submit per completion.
                 for policy, seed in feed:
                     futures[
-                        pool.submit(_trial_job, config, policy, seed, psi)
+                        pool.submit(
+                            _trial_job, config, policy, seed, psi, spans
+                        )
                     ] = (policy, seed)
                     if len(futures) >= window:
                         break
     else:
         for policy, seed in todo:
-            row, delta = _trial_job(config, policy, seed, psi)
+            row, delta = _trial_job(config, policy, seed, psi, spans)
             sink.append(row)
             _lane_accumulate(lane_stats, delta)
             ran += 1

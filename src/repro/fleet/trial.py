@@ -36,6 +36,7 @@ from repro.psi import PsiConfig, PsiTracker, interval_overlap_ns
 from repro.sim.engine import Engine
 from repro.sim.events import Compute, Sleep
 from repro.sim.rng import RngTree
+from repro.spans import SpanRecorder, SpansConfig
 from repro.swapdev import SSDSwapDevice, ZRAMSwapDevice
 from repro.workloads import datasets
 from repro.workloads.kvstore import KVStore
@@ -112,6 +113,27 @@ def psi_enabled() -> bool:
     sites gate on ``system.psi is None``).
     """
     return os.environ.get("REPRO_PSI", "0") != "0"
+
+
+def spans_enabled() -> bool:
+    """The ``REPRO_SPANS`` env knob (off by default).
+
+    Same observer contract as PSI: spans-on adds a ``spans`` section to
+    rows and tenant entries, leaves every pre-existing field
+    byte-identical, and spans-off runs pay only the ``is None`` gates.
+    """
+    return os.environ.get("REPRO_SPANS", "0") != "0"
+
+
+def spans_sample_env() -> int:
+    """The ``REPRO_SPANS_SAMPLE`` head-sampling knob (default 1: keep
+    every fault's full record; aggregates always cover all faults)."""
+    raw = os.environ.get("REPRO_SPANS_SAMPLE", "1")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(1, value)
 
 
 # ----------------------------------------------------------------------
@@ -778,6 +800,7 @@ def run_fleet_trial(
     seed: int,
     fast_fleet: Optional[bool] = None,
     psi: Any = None,
+    spans: Any = None,
 ) -> Dict[str, Any]:
     """One fleet execution on a fresh simulator; returns a sink row.
 
@@ -793,6 +816,14 @@ def run_fleet_trial(
     ``REPRO_PSI`` (default off).  PSI is deliberately *not* part of
     :class:`FleetConfig` — it never changes simulation results, so the
     sink's config digest (and resumability) is independent of it.
+
+    ``spans`` opts the trial into causal fault-span recording under the
+    same contract: ``True`` (or a :class:`~repro.spans.SpansConfig`)
+    installs a :class:`~repro.spans.SpanRecorder` and adds a ``spans``
+    section to the row and to each tenant entry; ``False`` disables;
+    ``None`` reads ``REPRO_SPANS`` (default off), with
+    ``REPRO_SPANS_SAMPLE`` controlling head sampling of retained
+    records.
     """
     if fast_fleet is None:
         fast_fleet = fast_fleet_enabled()
@@ -803,6 +834,15 @@ def run_fleet_trial(
         psi_config = psi
     else:
         psi_config = PsiConfig() if psi else None
+    if spans is None:
+        spans = spans_enabled()
+    spans_config: Optional[SpansConfig]
+    if isinstance(spans, SpansConfig):
+        spans_config = spans
+    elif spans:
+        spans_config = SpansConfig(sample_every=spans_sample_env())
+    else:
+        spans_config = None
     engine = Engine()
     rng = RngTree(seed)
     n = config.n_tenants
@@ -952,11 +992,29 @@ def run_fleet_trial(
             tracker.run_sampler(), name="psi-sampler", daemon=True
         )
 
+    # Spans install under the identical observer contract: three
+    # ``None``-default slots plus an optional Sleep-only profiler
+    # daemon, so spans-on rows stay byte-identical in every
+    # pre-existing field.
+    recorder: Optional[SpanRecorder] = None
+    if spans_config is not None:
+        recorder = SpanRecorder(engine, spans_config)
+        recorder.install(system)
+        if spans_config.profile_interval_ns > 0:
+            engine.spawn(
+                recorder.run_profiler(), name="spans-profiler",
+                daemon=True,
+            )
+
     system.start()
     runtime_ns = engine.run()
     audit_usage(system)  # ledger invariant: sum(usage) == frames used
     if tracker is not None:
         tracker.finalize(runtime_ns)
+    span_table = None
+    if recorder is not None:
+        span_table = recorder.finalize(runtime_ns)
+        recorder.detach()
 
     stats = system.stats
     tenants = []
@@ -976,6 +1034,19 @@ def run_fleet_trial(
             "minor_faults": state.minor_faults,
             "memcg": cg.stats.snapshot(),
         }
+        if span_table is not None:
+            # The tenant's exact critical-path decomposition: segment
+            # sums over *all* of its faults.  ``total_ns`` equals the
+            # tenant's measured fault-latency sum exactly (the root
+            # span brackets the same ``handle_fault`` call the serving
+            # lanes time) — the identity the spans tests pin.
+            entry["spans"] = {
+                "faults": span_table.group_faults.get(cg.name, 0),
+                "total_ns": span_table.group_total_ns.get(cg.name, 0),
+                "seg_ns": dict(
+                    sorted(span_table.group_ns.get(cg.name, {}).items())
+                ),
+            }
         if tracker is not None:
             group = tracker.group_for(cg)
             assert group is not None
@@ -1012,6 +1083,12 @@ def run_fleet_trial(
         },
         "tenants": tenants,
     }
+    if span_table is not None:
+        # Full table dump: mergeable across rows/policies with
+        # ``SpanTable.from_obj(...).merge(...)``; JSON-safe for the
+        # sink.  Retained-record volume is bounded by ``max_spans``
+        # and the ``REPRO_SPANS_SAMPLE`` head sampling.
+        row["spans"] = span_table.to_obj()
     if tracker is not None:
         row["psi"] = {
             "system": tracker.system.snapshot(),

@@ -212,6 +212,7 @@ class MemCgroup:
             return
         retries = 0
         psi = system.psi
+        spans = system.spans
         stalled = False
         while self.usage_pages + 1 > limit:
             # Charge-time memstall (kernel psi_memstall_enter around
@@ -221,9 +222,16 @@ class MemCgroup:
                 stalled = True
                 psi.stall_begin(self)
             if self._local_reclaim_active:
-                yield WaitEvent(self._local_reclaim_done)
+                if spans is not None:
+                    spans.seg_begin("memcg_wait", instigator=self.name)
+                    yield WaitEvent(self._local_reclaim_done)
+                    spans.seg_end()
+                else:
+                    yield WaitEvent(self._local_reclaim_done)
                 continue
             self._local_reclaim_active = True
+            if spans is not None:
+                spans.seg_begin("memcg_run")
             try:
                 want = min(
                     LOCAL_RECLAIM_BATCH, self.usage_pages + 1 - limit
@@ -232,6 +240,8 @@ class MemCgroup:
                     max(1, want), direct=True
                 )
             finally:
+                if spans is not None:
+                    spans.seg_end()
                 self._local_reclaim_active = False
                 done = self._local_reclaim_done
                 self._local_reclaim_done = OneShotEvent(
@@ -248,6 +258,10 @@ class MemCgroup:
                 break
             if system._evictions_in_flight:
                 yield from system.wait_eviction_batch()
+            elif spans is not None:
+                spans.seg_begin("backoff")
+                yield Sleep(100 * US)
+                spans.seg_end()
             else:
                 yield Sleep(100 * US)
         if stalled:

@@ -138,6 +138,12 @@ class MemorySystem:
         #: the same discipline as tracepoint module slots, so disabled
         #: runs stay bit-identical.
         self.psi = None
+        #: Span recorder observer slot (None = spans off).  Set by
+        #: :meth:`repro.spans.recorder.SpanRecorder.install`; the fault
+        #: path opens a root span per demand fault and brackets every
+        #: wait/work segment it traverses, gating on ``is None`` with
+        #: the same discipline as the PSI slot above.
+        self.spans = None
 
         policy.bind(self)
 
@@ -345,6 +351,24 @@ class MemorySystem:
         trap overhead (the access loops fold it into the Compute that
         flushes pending work at the miss, saving one event per fault).
         """
+        spans = self.spans
+        if spans is None:
+            yield from self._handle_fault(page, write, charge_overhead)
+            return
+        # Root span brackets the *entire* call — including the blocked-
+        # behind-inflight wait and the retry recursion — so the span
+        # total equals exactly what callers measure around this
+        # generator (the body runs synchronously to the first yield).
+        # Nested re-entries are depth-counted, not double-recorded.
+        spans.fault_begin(page)
+        try:
+            yield from self._handle_fault(page, write, charge_overhead)
+        finally:
+            spans.fault_end(page)
+
+    def _handle_fault(
+        self, page: Page, write: bool, charge_overhead: bool = True
+    ) -> Iterator[Any]:
         if page.present:
             # The caller observed a miss, but another thread completed
             # the fault before we got here (the kernel's re-check of the
@@ -363,6 +387,11 @@ class MemorySystem:
             if inflight is None:
                 inflight = OneShotEvent("fault")
                 self._inflight_faults[page] = inflight
+            spans = self.spans
+            if spans is not None:
+                spans.seg_begin(
+                    "inflight_wait", instigator=spans.owner_of(page)
+                )
             psi = self.psi
             if psi is not None and page.swap_slot is not None:
                 # Thrashing wait (kernel folio_wait_bit memstall): the
@@ -373,6 +402,8 @@ class MemorySystem:
                 psi.stall_end(page.memcg)
             else:
                 yield WaitEvent(inflight)
+            if spans is not None:
+                spans.seg_end()
             if not page.present:
                 yield from self.handle_fault(page, write)
                 return
@@ -382,6 +413,11 @@ class MemorySystem:
             return
 
         self._inflight_faults[page] = None
+        spans = self.spans
+        if spans is not None:
+            # This thread now owns the page's in-flight fault: later
+            # arrivals blocking on it name us as their instigator.
+            spans.claim_fault(page)
         engine = self.engine
         t0 = engine._now
         try:
@@ -398,6 +434,11 @@ class MemorySystem:
             major = page.swap_slot is not None
             if major:
                 self.stats.major_faults += 1
+                if spans is not None:
+                    # The device reports its exact (queue, service)
+                    # split into this frame; the exclusive remainder is
+                    # CPU-contention dilation.
+                    spans.seg_begin("swap_read")
                 psi = self.psi
                 if psi is not None:
                     # Swap-in device wait (kernel swap_read_folio /
@@ -408,6 +449,8 @@ class MemorySystem:
                     psi.note_refault(page)
                 else:
                     yield from self.swap_device.read(page)
+                if spans is not None:
+                    spans.seg_end()
                 shadow = self.swap.refault(page)
                 if shadow is not None:
                     self.stats.refaults += 1
@@ -420,7 +463,12 @@ class MemorySystem:
                         )
             else:
                 self.stats.minor_faults += 1
-                yield Compute(self.costs.zero_fill_ns)
+                if spans is not None:
+                    spans.seg_begin("zero_fill")
+                    yield Compute(self.costs.zero_fill_ns)
+                    spans.seg_end()
+                else:
+                    yield Compute(self.costs.zero_fill_ns)
                 shadow = None
             page.present = True
             page.frame = frame
@@ -439,6 +487,8 @@ class MemorySystem:
             if _mx.fault_service is not None:
                 _mx.fault_service(engine._now - t0, major)
         finally:
+            if spans is not None:
+                spans.release_fault(page)
             done = self._inflight_faults.pop(page)
             if done is not None:
                 done.fire()
@@ -464,6 +514,7 @@ class MemorySystem:
         can attribute cross-tenant steals."""
         retries = 0
         psi = self.psi
+        spans = self.spans
         stalled = False
         while True:
             if not self.frames.below_min():
@@ -479,17 +530,34 @@ class MemorySystem:
                 stalled = True
                 psi.stall_begin(memcg)
             if self._direct_reclaim_active:
-                yield WaitEvent(self._direct_reclaim_done)
+                if spans is not None:
+                    spans.seg_begin(
+                        "reclaim_wait",
+                        instigator=spans.reclaim_instigator,
+                    )
+                    yield WaitEvent(self._direct_reclaim_done)
+                    spans.seg_end()
+                else:
+                    yield WaitEvent(self._direct_reclaim_done)
                 continue
             # Direct reclaim: the faulting thread pays for reclaim itself.
             start = self.engine.now
             self._direct_reclaim_active = True
             self._reclaim_requester = memcg
+            if spans is not None:
+                thread = self.engine.current_thread
+                spans.reclaim_instigator = (
+                    thread.name if thread is not None else "?"
+                )
+                spans.seg_begin("reclaim_run")
             try:
                 reclaimed = yield from self.policy.reclaim(
                     RECLAIM_BATCH, direct=True
                 )
             finally:
+                if spans is not None:
+                    spans.seg_end()
+                    spans.reclaim_instigator = None
                 self._direct_reclaim_active = False
                 self._reclaim_requester = None
                 done = self._direct_reclaim_done
@@ -519,6 +587,10 @@ class MemorySystem:
                     # Wait for that instead of a blind backoff (the
                     # kernel's writeback throttling).
                     yield from self.wait_eviction_batch()
+                elif spans is not None:
+                    spans.seg_begin("backoff")
+                    yield Sleep(100 * US)
+                    spans.seg_end()
                 else:
                     # Give kswapd / in-flight writeback a chance.
                     yield Sleep(100 * US)
@@ -578,7 +650,13 @@ class MemorySystem:
         t0 = self.engine.now if tp_evict is not None else 0
         if _mx.evict_block is not None:
             _mx.evict_block(len(pages))
-        yield Compute(self.costs.reclaim_page_ns * len(pages))
+        spans = self.spans
+        if spans is not None:
+            spans.seg_begin("evict_triage")
+            yield Compute(self.costs.reclaim_page_ns * len(pages))
+            spans.seg_end()
+        else:
+            yield Compute(self.costs.reclaim_page_ns * len(pages))
         evicted = 0
         aborted = []
         drops: list[Page] = []
@@ -649,12 +727,25 @@ class MemorySystem:
         if writes:
             finished: list[Page] = []
             self._evictions_in_flight += len(writes)
+            if spans is not None:
+                # Publish who submitted the in-flight batch so faults
+                # waiting on its completion can name their instigator
+                # (kswapd vs. a direct reclaimer).
+                thread = self.engine.current_thread
+                spans.eviction_instigator = (
+                    thread.name if thread is not None else "?"
+                )
+                spans.seg_begin("evict_writeback")
             try:
                 yield from self.swap_device.write_batch(
                     [p for p, _ in writes], fast=self.fast_reclaim
                 )
             finally:
+                if spans is not None:
+                    spans.seg_end()
                 self._evictions_in_flight -= len(writes)
+                if spans is not None and not self._evictions_in_flight:
+                    spans.eviction_instigator = None
                 done = self._eviction_batch_done
                 self._eviction_batch_done = OneShotEvent(
                     "eviction-batch-done"
@@ -704,7 +795,15 @@ class MemorySystem:
         transiently empty list.
         """
         if self._evictions_in_flight:
-            yield WaitEvent(self._eviction_batch_done)
+            spans = self.spans
+            if spans is not None:
+                spans.seg_begin(
+                    "evict_wait", instigator=spans.eviction_instigator
+                )
+                yield WaitEvent(self._eviction_batch_done)
+                spans.seg_end()
+            else:
+                yield WaitEvent(self._eviction_batch_done)
 
     def _finish_eviction(self, page: Page) -> None:
         """Unmap a victim and return its frame to the allocator (the

@@ -67,7 +67,10 @@ class CPU:
         #: Integral of busy logical CPUs over time (ns·cpus).
         self.busy_cpu_ns = 0.0
         #: PSI tracker observer slot (None = PSI off; same gate
-        #: discipline as the tracepoint module slots).
+        #: discipline as the tracepoint module slots).  The span
+        #: recorder needs no slot here: its sim-time profiler samples
+        #: ``_heap`` directly (pull model), so the submit path carries
+        #: no spans branch at all.
         self.psi = None
 
     # ------------------------------------------------------------------

@@ -1,0 +1,322 @@
+"""``python -m repro.spans`` — causal fault-span tracing CLI.
+
+Run one grid cell with span recording on and write the full bundle
+(span table JSON, Markdown critical-path report, ``.folded``
+flamegraph input, optional merged Perfetto trace)::
+
+    PYTHONPATH=src python -m repro.spans run \\
+        --workload pagerank --policy mglru --swap ssd --ratio 0.5 \\
+        --out spans/pagerank-mglru
+
+Multiple seeds merge into one table (``--seeds N`` fans out over the
+``REPRO_JOBS`` worker pool; the merged table is identical either way).
+Re-render a saved table, or diff two policies on the same cell::
+
+    PYTHONPATH=src python -m repro.spans report spans/pagerank-mglru/spans.json
+    PYTHONPATH=src python -m repro.spans compare \\
+        spans/pagerank-clock/spans.json spans/pagerank-mglru/spans.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._units import MS
+from repro.core.config import SystemConfig
+from repro.core.experiment import _jobs_from_env, run_trial
+from repro.policies import POLICY_FACTORIES
+from repro.spans.config import SpansConfig
+from repro.spans.profiler import (
+    merge_chrome_traces,
+    spans_chrome_trace,
+    write_chrome_trace,
+    write_folded,
+)
+from repro.spans.recorder import SpanTable
+from repro.spans.report import compare_markdown, render_markdown
+from repro.workloads import WORKLOAD_FACTORIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.spans",
+        description="Causal fault-span tracing and critical-path reports.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run span-recorded trial(s)")
+    run.add_argument(
+        "--workload",
+        default="pagerank",
+        choices=sorted(WORKLOAD_FACTORIES),
+    )
+    run.add_argument(
+        "--policy", default="mglru", choices=sorted(POLICY_FACTORIES)
+    )
+    run.add_argument("--swap", default="ssd", choices=("ssd", "zram"))
+    run.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="memory capacity as a fraction of the workload footprint",
+    )
+    run.add_argument("--seed", type=int, default=10_000)
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="trials at consecutive seeds, merged into one table",
+    )
+    run.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("spans"),
+        help="output directory for the span bundle",
+    )
+    run.add_argument(
+        "--sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="retain the full record of every Nth fault (aggregates "
+        "always cover all faults)",
+    )
+    run.add_argument(
+        "--top-k", type=int, default=SpansConfig.top_k,
+        help="slowest spans to keep exactly (over all faults)",
+    )
+    run.add_argument(
+        "--max-spans",
+        type=int,
+        default=SpansConfig.max_spans,
+        help="full records retained per trial after sampling",
+    )
+    run.add_argument(
+        "--profile-interval-ms",
+        type=float,
+        default=SpansConfig.profile_interval_ns / MS,
+        help="sim-time profiler sampling interval in simulated "
+        "milliseconds (0 disables the profiler)",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --seeds > 1 (default: REPRO_JOBS)",
+    )
+    run.add_argument(
+        "--trace",
+        action="store_true",
+        help="also capture tracepoints on the first seed and write a "
+        "merged Perfetto trace (spans + tracepoints + vmstat tracks)",
+    )
+
+    rep = sub.add_parser("report", help="render a saved span table")
+    rep.add_argument("table", type=pathlib.Path, help="path to spans.json")
+    rep.add_argument(
+        "--out", default=None, help="write Markdown here (default: stdout)"
+    )
+    rep.add_argument("--title", default=None)
+
+    cmp_ = sub.add_parser(
+        "compare", help="critical-path diff between two span tables"
+    )
+    cmp_.add_argument("table_a", type=pathlib.Path)
+    cmp_.add_argument("table_b", type=pathlib.Path)
+    cmp_.add_argument(
+        "--label-a", default=None, help="default: table label or filename"
+    )
+    cmp_.add_argument("--label-b", default=None)
+    cmp_.add_argument(
+        "--out", default=None, help="write Markdown here (default: stdout)"
+    )
+    return parser
+
+
+def _span_job(
+    workload: str,
+    system_config: SystemConfig,
+    seed: int,
+    spans: SpansConfig,
+    with_trace: bool,
+) -> Tuple[Dict[str, Any], Optional[Any]]:
+    """One span-recorded trial; module-level so the pool can pickle it.
+
+    Returns the table as its ``to_obj`` dump (picklable, and the same
+    form the fleet sink stores) plus the trace capture when requested.
+    """
+    trace_config = None
+    if with_trace:
+        from repro.trace.config import TraceConfig
+
+        trace_config = TraceConfig()
+    result = run_trial(
+        workload, system_config, seed, trace=trace_config, spans=spans
+    )
+    table = result.spans
+    assert table is not None
+    table.tag(f"seed{seed}")
+    return table.to_obj(), result.trace
+
+
+def _run_trials(
+    args: argparse.Namespace, spans: SpansConfig
+) -> Tuple[SpanTable, Optional[Any]]:
+    """Run the seed fan-out; merge tables in seed order (serial and
+    pooled runs produce the identical merged table)."""
+    system_config = SystemConfig(
+        policy=args.policy, swap=args.swap, capacity_ratio=args.ratio
+    )
+    seeds = [args.seed + i for i in range(max(1, args.seeds))]
+    jobs = _jobs_from_env() if args.jobs is None else max(1, args.jobs)
+    capture = None
+    objs: List[Dict[str, Any]] = []
+    if jobs > 1 and len(seeds) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+            futures = [
+                pool.submit(
+                    _span_job,
+                    args.workload,
+                    system_config,
+                    seed,
+                    spans,
+                    args.trace and seed == seeds[0],
+                )
+                for seed in seeds
+            ]
+            for future in futures:  # seed order, not completion order
+                obj, trace = future.result()
+                objs.append(obj)
+                if trace is not None:
+                    capture = trace
+    else:
+        for seed in seeds:
+            obj, trace = _span_job(
+                args.workload,
+                system_config,
+                seed,
+                spans,
+                args.trace and seed == seeds[0],
+            )
+            objs.append(obj)
+            if trace is not None:
+                capture = trace
+    merged = SpanTable.from_obj(objs[0])
+    for obj in objs[1:]:
+        merged.merge(SpanTable.from_obj(obj))
+    return merged, capture
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spans = SpansConfig(
+        sample_every=max(1, args.sample),
+        max_spans=args.max_spans,
+        top_k=args.top_k,
+        profile_interval_ns=max(0, int(args.profile_interval_ms * MS)),
+    )
+    label = f"{args.workload}:{args.policy}-{args.swap}-r{args.ratio:g}"
+    print(
+        f"recording spans for {label} "
+        f"seed={args.seed} x{max(1, args.seeds)} ...",
+        flush=True,
+    )
+    table, capture = _run_trials(args, spans)
+    out = args.out
+    out.mkdir(parents=True, exist_ok=True)
+
+    table_path = out / "spans.json"
+    obj = table.to_obj()
+    obj["label"] = label
+    with table_path.open("w") as fh:
+        json.dump(obj, fh)
+        fh.write("\n")
+    print(f"wrote table        {table_path}")
+
+    report_path = out / "report.md"
+    report_path.write_text(
+        render_markdown(table, title=f"Critical-path report: {label}")
+    )
+    print(f"wrote report       {report_path}")
+
+    folded_path = out / "profile.folded"
+    n_lines = write_folded(table, folded_path)
+    print(f"wrote folded       {folded_path} ({n_lines} stacks)")
+
+    trace_path = out / "trace.json"
+    if capture is not None:
+        from repro.trace.export import chrome_trace
+
+        merged_trace = merge_chrome_traces(chrome_trace(capture), table)
+        write_chrome_trace(merged_trace, trace_path)
+        print(f"wrote trace        {trace_path} (spans + tracepoints)")
+    else:
+        write_chrome_trace(spans_chrome_trace(table), trace_path)
+        print(f"wrote trace        {trace_path} (spans only)")
+    print()
+    print(
+        f"{table.n_faults} faults ({table.n_major} major); "
+        f"load {trace_path} at https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def _load_table(path: pathlib.Path) -> Tuple[SpanTable, str]:
+    with path.open() as fh:
+        obj = json.load(fh)
+    label = obj.get("label") or path.stem
+    return SpanTable.from_obj(obj), label
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    table, label = _load_table(args.table)
+    title = args.title or f"Critical-path report: {label}"
+    _emit(render_markdown(table, title=title), args.out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    table_a, label_a = _load_table(args.table_a)
+    table_b, label_b = _load_table(args.table_b)
+    text = compare_markdown(
+        table_a,
+        table_b,
+        args.label_a or label_a,
+        args.label_b or label_b,
+    )
+    _emit(text, args.out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        return _cmd_compare(args)
+    except BrokenPipeError:
+        # Piping the markdown through ``head`` is normal usage; a
+        # closed stdout is not an error.  Point the fd at /dev/null so
+        # interpreter shutdown does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Sim-time profiler output: folded stacks and Perfetto export.
+
+The profiler (the ``SpanRecorder.run_profiler`` daemon) samples every
+simulated thread's state at a fixed sim-time cadence: threads holding
+CPU jobs sample as ``compute`` (or ``compute-dilated`` when runnable
+jobs exceed logical CPUs — the egalitarian-processor-sharing dilation
+regime), and threads blocked inside instrumented brackets sample as
+their open bracket stack (``tenant-3;fault;swap_read`` while a swap-in
+is in flight).  This module renders those samples:
+
+- :func:`write_folded` emits the classic ``stack count`` folded format
+  (Brendan Gregg's ``flamegraph.pl``, speedscope, and Perfetto's
+  ingestion all read it).
+- :func:`spans_trace_events` converts retained span records and
+  profiler samples into Chrome trace events on their own process
+  (pid 2), one track per simulated thread — root spans as complete
+  (``X``) slices carrying the exact segment decomposition in ``args``.
+- :func:`merge_chrome_traces` folds those events into an existing
+  ``repro.trace`` Chrome trace export, so one Perfetto session shows
+  tracepoint lanes, vmstat counter tracks, *and* causal spans on a
+  shared clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List
+
+from repro.spans.recorder import SpanTable
+
+#: Chrome-trace process id for span/profiler tracks (the tracepoint
+#: exporter owns pid 1).
+SPANS_PID = 2
+
+
+def folded_lines(table: SpanTable) -> List[str]:
+    """The profiler samples as ``stack count`` lines (sorted by stack,
+    so the output is deterministic and diffable)."""
+    return [
+        f"{stack} {count}"
+        for stack, count in sorted(table.folded.items())
+    ]
+
+
+def write_folded(table: SpanTable, path: pathlib.Path) -> int:
+    """Write the ``.folded`` flamegraph input; returns the line count."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = folded_lines(table)
+    with path.open("w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def _thread_tids(table: SpanTable) -> Dict[str, int]:
+    """Deterministic tid per simulated thread name (sorted order)."""
+    names = {record["thread"] for record in table.records}
+    names.update(name for _, name, _ in table.profile_samples)
+    names.update(table.daemon_ns)
+    return {name: tid for tid, name in enumerate(sorted(names), start=1)}
+
+
+def spans_trace_events(table: SpanTable) -> List[Dict[str, Any]]:
+    """Chrome trace events for one span table (metadata first, then
+    timestamp-sorted slices/samples — the same ordering contract
+    ``repro.trace.export.chrome_trace`` maintains)."""
+    tids = _thread_tids(table)
+    metadata: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": SPANS_PID,
+            "args": {"name": "repro.spans"},
+        }
+    ]
+    for name, tid in sorted(tids.items(), key=lambda nt: nt[1]):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": SPANS_PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    events: List[Dict[str, Any]] = []
+    for record in table.records:
+        args: Dict[str, Any] = {
+            "vpn": record["vpn"],
+            "group": record["group"],
+            "total_ns": record["total_ns"],
+        }
+        for kind, ns in sorted(record["segs"].items()):
+            args[f"seg.{kind}_ns"] = ns
+        for kind, who in sorted(record["inst"].items()):
+            args[f"instigator.{kind}"] = who
+        events.append(
+            {
+                "name": "fault/major" if record["major"] else "fault/minor",
+                "cat": "spans",
+                "ph": "X",
+                "ts": record["t0"] / 1e3,
+                "dur": record["total_ns"] / 1e3,
+                "pid": SPANS_PID,
+                "tid": tids[record["thread"]],
+                "args": args,
+            }
+        )
+    for ts_ns, thread, stack in table.profile_samples:
+        events.append(
+            {
+                "name": stack.rsplit(";", 1)[-1],
+                "cat": "spans.profile",
+                "ph": "i",
+                "s": "t",
+                "ts": ts_ns / 1e3,
+                "pid": SPANS_PID,
+                "tid": tids[thread],
+                "args": {"stack": stack},
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return metadata + events
+
+
+def spans_chrome_trace(table: SpanTable) -> Dict[str, Any]:
+    """A standalone Chrome trace object for one span table."""
+    return {
+        "traceEvents": spans_trace_events(table),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "n_faults": table.n_faults,
+            "n_retained": table.n_retained,
+            "runtime_ns": table.runtime_ns,
+        },
+    }
+
+
+def merge_chrome_traces(
+    base: Dict[str, Any], table: SpanTable
+) -> Dict[str, Any]:
+    """Merge span tracks into a ``repro.trace`` Chrome trace export.
+
+    Returns a new trace object: all metadata (``M``) events first, then
+    every timed event from both sources in one global timestamp sort —
+    the ordering :func:`repro.trace.export.validate_chrome_trace`
+    checks.  The sort is stable, so each source's B/E pairing survives
+    (span events are self-contained ``X``/``i`` and cannot mis-nest).
+    """
+    span_events = spans_trace_events(table)
+    combined = list(base.get("traceEvents", [])) + span_events
+    metadata = [ev for ev in combined if ev.get("ph") == "M"]
+    timed = [ev for ev in combined if ev.get("ph") != "M"]
+    timed.sort(key=lambda e: e["ts"])
+    other = dict(base.get("otherData", {}))
+    other["spans_n_faults"] = table.n_faults
+    other["spans_n_retained"] = table.n_retained
+    return {
+        "traceEvents": metadata + timed,
+        "displayTimeUnit": base.get("displayTimeUnit", "ms"),
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(
+    trace: Dict[str, Any], path: pathlib.Path
+) -> None:
+    """Write a Chrome trace object as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")

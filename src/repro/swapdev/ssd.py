@@ -119,6 +119,11 @@ class SSDSwapDevice(SwapDevice):
         now = self._engine._now
         begin = self._slot_begin(now)
         done = begin + self._latency_ns(self.costs.read_ns)
+        spans = self.spans
+        if spans is not None:
+            # Analytically exact split: queue = wait for a device slot,
+            # service = the transfer itself (sums to the full Sleep).
+            spans.note_device(begin - now, done - begin)
         self._slot_take(done)
         self._begins.append(begin)
         yield Sleep(done - now)
@@ -135,6 +140,9 @@ class SSDSwapDevice(SwapDevice):
         now = self._engine._now
         begin = self._slot_begin(now)
         done = begin + self._latency_ns(self.costs.write_ns)
+        spans = self.spans
+        if spans is not None:
+            spans.note_device(begin - now, done - begin)
         self._slot_take(done)
         self._begins.append(begin)
         yield Sleep(done - now)
@@ -183,6 +191,11 @@ class SSDSwapDevice(SwapDevice):
                 ends.append(acc)
             total = acc
         queue_wait = begin - now
+        spans = self.spans
+        if spans is not None:
+            # The caller waits queue_wait + total: one slot services
+            # the block's pages back to back.
+            spans.note_device(queue_wait, total)
         self._slot_take(begin + total)
         self._begins.append(begin)
         yield Sleep(begin + total - now)

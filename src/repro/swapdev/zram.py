@@ -67,6 +67,12 @@ class ZRAMSwapDevice(SwapDevice):
         clean swap copies.
         """
         lat = self._latency_ns(self.costs.read_ns)
+        spans = self.spans
+        if spans is not None:
+            # ZRAM never queues (it runs on the faulting CPU): service
+            # is the nominal decompress cost; any excess wall time the
+            # enclosing frame sees is CPU-contention dilation.
+            spans.note_device(0, lat)
         yield Compute(lat)
         self.stats.reads += 1
         if _tp.swap_io_done is not None:
@@ -88,6 +94,9 @@ class ZRAMSwapDevice(SwapDevice):
                 f"> {self.pool_limit_bytes}B)"
             )
         lat = self._latency_ns(self.costs.write_ns)
+        spans = self.spans
+        if spans is not None:
+            spans.note_device(0, lat)
         yield Compute(lat)
         old = self._stored.pop(page.vpn, 0)
         self.pool_bytes += size - old
@@ -132,7 +141,11 @@ class ZRAMSwapDevice(SwapDevice):
             pending += size - old
             sizes.append(size)
             lats.append(self._latency_ns(self.costs.write_ns))
-        yield Compute(sum(lats))
+        total = sum(lats)
+        spans = self.spans
+        if spans is not None:
+            spans.note_device(0, total)
+        yield Compute(total)
         tp = _tp.swap_io_done
         for page, size, lat in zip(pages, sizes, lats):
             old = self._stored.pop(page.vpn, 0)

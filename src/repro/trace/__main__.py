@@ -10,9 +10,11 @@ Capture one grid cell with tracing on and write the full bundle
 Load ``trace.json`` at https://ui.perfetto.dev (or ``chrome://tracing``)
 to see fault/eviction/swap-I/O slices and the vmstat counter tracks.
 
-Re-analyze a saved capture offline::
+Re-analyze a saved capture offline, or list every registered
+tracepoint with its payload field meanings::
 
     PYTHONPATH=src python -m repro.trace analyze traces/pagerank-mglru/trace.npz
+    PYTHONPATH=src python -m repro.trace list
 """
 
 from __future__ import annotations
@@ -98,7 +100,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ana = sub.add_parser("analyze", help="summarize a saved capture")
     ana.add_argument("capture", type=pathlib.Path, help="path to trace.npz")
+
+    sub.add_parser(
+        "list",
+        help="list registered tracepoints and vmstat column sets",
+    )
     return parser
+
+
+def _warn_dropped(dropped: int) -> None:
+    """Loud stderr warning when the ring buffer overflowed: the capture
+    silently lost its *oldest* events, which skews every analysis that
+    assumes the window covers the trial (refault correlation most of
+    all)."""
+    if dropped <= 0:
+        return
+    print(
+        f"WARNING: ring buffer overflowed — {dropped} event(s) dropped "
+        "(oldest first).\n"
+        "         Event-derived views are incomplete; raise --capacity "
+        "or narrow --events.",
+        file=sys.stderr,
+    )
 
 
 def _cmd_capture(args: argparse.Namespace) -> int:
@@ -134,6 +157,7 @@ def _cmd_capture(args: argparse.Namespace) -> int:
         capture, args.out, registry=result.metrics_registry
     )
     print(summarize(capture))
+    _warn_dropped(capture.dropped_events)
     print()
     for kind, path in paths.items():
         print(f"wrote {kind:<12} {path}")
@@ -152,6 +176,7 @@ def _cmd_capture(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     capture = load_capture(args.capture)
     print(summarize(capture))
+    _warn_dropped(capture.dropped_events)
     config = {
         k: (list(v) if isinstance(v, tuple) else v)
         for k, v in asdict(capture.config).items()
@@ -161,10 +186,50 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list(_args: argparse.Namespace) -> int:
+    """Registered tracepoints with payload meanings, then the vmstat
+    column sets by capture version."""
+    from repro.trace.tracepoints import EVENT_IDS, TRACEPOINTS
+    from repro.trace.vmstat import (
+        DERIVED_COUNTERS,
+        GAUGES,
+        MM_COUNTERS,
+        PSI_COUNTERS,
+        VMSTAT_VERSION,
+    )
+
+    print(f"tracepoints ({len(TRACEPOINTS)})")
+    print("-" * 40)
+    for name, fields in TRACEPOINTS.items():
+        labels = ", ".join(f for f in fields if f != "unused") or "-"
+        print(f"  {EVENT_IDS[name]:>3}  {name:<26} ({labels})")
+    print()
+    print(f"vmstat column sets (current version: v{VMSTAT_VERSION})")
+    print("-" * 40)
+    print("  v1: cumulative counters + gauges")
+    for name in MM_COUNTERS:
+        print(f"        {name}  [MMStats]")
+    for name in DERIVED_COUNTERS:
+        print(f"        {name}  [derived]")
+    for name in GAUGES:
+        print(f"        {name}  [gauge]")
+    print("  v2: v1 + PSI stall / workingset counters")
+    for name in PSI_COUNTERS:
+        print(f"        {name}  [psi]")
+    print()
+    print(
+        "npz captures store their column-set version in the header;\n"
+        "pre-PSI captures load as v1 (PSI columns absent, tolerated)."
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "capture":
         return _cmd_capture(args)
+    if args.command == "list":
+        return _cmd_list(args)
     return _cmd_analyze(args)
 
 

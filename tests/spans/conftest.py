@@ -1,0 +1,59 @@
+"""Fixtures for the spans suite: one tiny spanned trial, shared."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.workloads as workloads_pkg
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.spans import SpansConfig
+from repro.workloads.tpch import TPCHParams, TPCHWorkload
+
+SEED = 4242
+
+
+def tiny_tpch_factory():
+    """A TPC-H instance small enough for sub-second trials."""
+    return TPCHWorkload(
+        TPCHParams(
+            table_pages=96,
+            hash_pages=96,
+            shuffle_pages=64,
+            n_threads=4,
+            n_queries=1,
+        )
+    )
+
+
+@pytest.fixture()
+def tiny_tpch(monkeypatch):
+    """Swap the registered tpch factory for the tiny instance."""
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES, "tpch", tiny_tpch_factory
+    )
+
+
+@pytest.fixture(scope="module")
+def spanned_trial():
+    """(bare, spanned) results of the same tiny trial, module-cached.
+
+    ``sample_every=1`` so every fault retains its full record — the
+    exactness assertions need the complete set.
+    """
+    prev = workloads_pkg.WORKLOAD_FACTORIES["tpch"]
+    workloads_pkg.WORKLOAD_FACTORIES["tpch"] = tiny_tpch_factory
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    try:
+        off = run_trial("tpch", config, SEED)
+        on = run_trial("tpch", config, SEED, spans=SpansConfig())
+    finally:
+        workloads_pkg.WORKLOAD_FACTORIES["tpch"] = prev
+    assert on.spans is not None
+    return off, on
+
+
+@pytest.fixture(scope="module")
+def span_table(spanned_trial):
+    """The SpanTable of the shared tiny trial."""
+    return spanned_trial[1].spans

@@ -1,0 +1,111 @@
+"""``python -m repro.spans`` CLI: run bundle, report, compare."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.spans.__main__ import main
+
+from .conftest import SEED
+
+
+@pytest.fixture(scope="module")
+def run_bundle(tmp_path_factory):
+    """One CLI run over the tiny cell, shared across CLI tests."""
+    import repro.workloads as workloads_pkg
+
+    from .conftest import tiny_tpch_factory
+
+    out = tmp_path_factory.mktemp("spans-cli") / "bundle"
+    prev = workloads_pkg.WORKLOAD_FACTORIES["tpch"]
+    workloads_pkg.WORKLOAD_FACTORIES["tpch"] = tiny_tpch_factory
+    try:
+        rc = main(
+            [
+                "run",
+                "--workload", "tpch",
+                "--policy", "mglru",
+                "--swap", "ssd",
+                "--ratio", "0.5",
+                "--seed", str(SEED),
+                "--out", str(out),
+                "--trace",
+            ]
+        )
+    finally:
+        workloads_pkg.WORKLOAD_FACTORIES["tpch"] = prev
+    assert rc == 0
+    return out
+
+
+def test_run_writes_the_full_bundle(run_bundle):
+    for name in ("spans.json", "report.md", "profile.folded", "trace.json"):
+        assert (run_bundle / name).exists(), name
+
+
+def test_run_table_is_labeled_and_loadable(run_bundle):
+    from repro.spans import SpanTable
+
+    obj = json.loads((run_bundle / "spans.json").read_text())
+    assert obj["format"] == "repro.spans/v1"
+    assert obj["label"] == "tpch:mglru-ssd-r0.5"
+    table = SpanTable.from_obj(obj)
+    assert table.n_faults > 0
+    for record in table.records:
+        assert sum(record["segs"].values()) == record["total_ns"]
+
+
+def test_run_merged_trace_validates(run_bundle):
+    from repro.spans.profiler import SPANS_PID
+    from repro.trace.export import validate_chrome_trace
+
+    trace = json.loads((run_bundle / "trace.json").read_text())
+    assert validate_chrome_trace(trace) == []
+    pids = {e.get("pid") for e in trace["traceEvents"]}
+    assert SPANS_PID in pids and 1 in pids  # spans + tracepoint lanes
+
+
+def test_report_subcommand(run_bundle, tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["report", str(run_bundle / "spans.json"),
+                 "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "# Critical-path report: tpch:mglru-ssd-r0.5" in text
+    assert "## Critical-path segment shares" in text
+    # Default: stdout.
+    assert main(["report", str(run_bundle / "spans.json")]) == 0
+    assert "segment shares" in capsys.readouterr().out
+
+
+def test_compare_subcommand(run_bundle, tmp_path, capsys):
+    table = str(run_bundle / "spans.json")
+    assert main(["compare", table, table, "--label-b", "again"]) == 0
+    out = capsys.readouterr().out
+    assert "Critical-path diff: tpch:mglru-ssd-r0.5 vs again" in out
+    assert "ns/fault" in out
+
+
+def test_multi_seed_run_merges_tagged_tables(tiny_tpch, tmp_path):
+    """--seeds N runs consecutive seeds and merges them into one table
+    whose records carry their trial tag.  (Serial == pooled identity is
+    covered end-to-end by the fleet spans suite — the pool path there
+    is self-contained and picklable.)"""
+    from repro.spans import SpanTable
+
+    out = tmp_path / "multi"
+    assert main(
+        [
+            "run", "--workload", "tpch", "--seed", str(SEED),
+            "--seeds", "2", "--profile-interval-ms", "0",
+            "--out", str(out), "--jobs", "1",
+        ]
+    ) == 0
+    table = SpanTable.from_obj(
+        json.loads((out / "spans.json").read_text())
+    )
+    tags = {r["trial"] for r in table.records}
+    assert tags == {f"seed{SEED}", f"seed{SEED + 1}"}
+    assert len(table.group_faults) >= 1
+    assert sum(table.group_total_ns.values()) == table.total_ns

@@ -1,0 +1,113 @@
+"""Sim-time profiler output: folded stacks and Perfetto export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.spans import SpansConfig
+from repro.spans.profiler import (
+    SPANS_PID,
+    folded_lines,
+    merge_chrome_traces,
+    spans_chrome_trace,
+    spans_trace_events,
+    write_chrome_trace,
+    write_folded,
+)
+from repro.trace.config import TraceConfig
+from repro.trace.export import chrome_trace, validate_chrome_trace
+
+from .conftest import SEED
+
+
+def test_profiler_collects_samples(span_table):
+    assert span_table.profile_samples, "default 1 ms cadence must tick"
+    assert span_table.folded
+    times = [t for t, _, _ in span_table.profile_samples]
+    assert times == sorted(times)
+    assert sum(span_table.folded.values()) == len(span_table.profile_samples)
+
+
+def test_folded_stack_format(span_table):
+    """``thread;frame;...;state`` — leaf is a bracket kind, compute, or
+    compute-dilated; frames never contain the separators."""
+    for stack in span_table.folded:
+        frames = stack.split(";")
+        assert len(frames) >= 2
+        assert all(frames), f"empty frame in {stack!r}"
+        assert " " not in stack
+
+
+def test_folded_lines_deterministic(span_table):
+    lines = folded_lines(span_table)
+    assert lines == sorted(lines)
+    for line in lines:
+        stack, count = line.rsplit(" ", 1)
+        assert span_table.folded[stack] == int(count)
+
+
+def test_write_folded(span_table, tmp_path):
+    path = tmp_path / "out" / "profile.folded"
+    n = write_folded(span_table, path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == n == len(span_table.folded)
+    assert lines == folded_lines(span_table)
+
+
+def test_profiler_can_be_disabled(tiny_tpch):
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    table = run_trial(
+        "tpch", config, SEED, spans=SpansConfig(profile_interval_ns=0)
+    ).spans
+    assert table.profile_samples == []
+    assert table.folded == {}
+    assert table.n_faults > 0  # spans still recorded
+
+
+def test_spans_trace_events_shape(span_table):
+    events = spans_trace_events(span_table)
+    metadata = [e for e in events if e["ph"] == "M"]
+    timed = [e for e in events if e["ph"] != "M"]
+    assert all(e["pid"] == SPANS_PID for e in events)
+    assert events[: len(metadata)] == metadata  # metadata first
+    ts = [e["ts"] for e in timed]
+    assert ts == sorted(ts)
+    slices = [e for e in timed if e["ph"] == "X"]
+    assert len(slices) == len(span_table.records)
+    for ev in slices:
+        assert ev["name"] in ("fault/major", "fault/minor")
+        seg_ns = sum(
+            v for k, v in ev["args"].items()
+            if k.startswith("seg.") and k.endswith("_ns")
+        )
+        assert seg_ns == ev["args"]["total_ns"]
+    samples = [e for e in timed if e["ph"] == "i"]
+    assert len(samples) == len(span_table.profile_samples)
+
+
+def test_standalone_spans_trace_validates(span_table):
+    trace = spans_chrome_trace(span_table)
+    assert validate_chrome_trace(trace) == []
+    assert trace["otherData"]["n_faults"] == span_table.n_faults
+
+
+def test_merged_trace_validates_and_keeps_both_processes(
+    tiny_tpch, span_table, tmp_path
+):
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    result = run_trial("tpch", config, SEED, trace=TraceConfig())
+    base = chrome_trace(result.trace)
+    merged = merge_chrome_traces(base, span_table)
+    assert validate_chrome_trace(merged) == []
+    pids = {e.get("pid") for e in merged["traceEvents"]}
+    assert SPANS_PID in pids and 1 in pids
+    assert len(merged["traceEvents"]) == len(base["traceEvents"]) + len(
+        spans_trace_events(span_table)
+    )
+    assert merged["otherData"]["spans_n_faults"] == span_table.n_faults
+    # Round-trips through the writer as plain JSON.
+    path = tmp_path / "merged.json"
+    write_chrome_trace(merged, path)
+    assert json.loads(path.read_text()) == merged

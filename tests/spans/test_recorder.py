@@ -1,0 +1,224 @@
+"""Recorder contracts: purity, nanosecond-exact decomposition,
+sampling, serialization, and order-independent merges.
+
+The load-bearing acceptance property lives here: every retained fault
+record's segment nanoseconds sum to its measured end-to-end latency
+*exactly*, and with ``sample_every=1`` the record totals sum to the
+table's aggregate fault time — no residual, no sampling error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.errors import ConfigError
+from repro.spans import SpanRecorder, SpansConfig, SpanTable
+from repro.spans.recorder import ROOT_KIND, SEGMENT_KINDS
+
+from .conftest import SEED
+
+
+# ----------------------------------------------------------------------
+# purity: spans never change what a trial computes
+# ----------------------------------------------------------------------
+
+def test_spans_off_trial_has_no_table(spanned_trial):
+    off, _on = spanned_trial
+    assert off.spans is None
+
+
+def test_spans_on_trial_bit_identical_to_off(spanned_trial):
+    off, on = spanned_trial
+    assert on.runtime_ns == off.runtime_ns
+    assert on.counters == off.counters
+    assert on.metrics == off.metrics
+    assert on.latencies_ns == off.latencies_ns
+    assert on.major_faults == off.major_faults
+    assert on.minor_faults == off.minor_faults
+
+
+# ----------------------------------------------------------------------
+# exactness: segments sum to the measured latency, always
+# ----------------------------------------------------------------------
+
+def test_every_record_segments_sum_to_total_exactly(span_table):
+    assert span_table.records, "pressured cell must fault"
+    for record in span_table.records:
+        assert sum(record["segs"].values()) == record["total_ns"]
+        assert all(ns >= 0 for ns in record["segs"].values())
+
+
+def test_unsampled_record_totals_sum_to_table_total(span_table):
+    assert span_table.sample_every == 1
+    assert span_table.n_retained == span_table.n_faults
+    assert (
+        sum(r["total_ns"] for r in span_table.records)
+        == span_table.total_ns
+    )
+
+
+def test_segment_aggregates_equal_record_sums(span_table):
+    by_kind: dict = {}
+    for record in span_table.records:
+        for kind, ns in record["segs"].items():
+            by_kind[kind] = by_kind.get(kind, 0) + ns
+    # Daemon brackets (kswapd) accumulate separately, never here.
+    assert by_kind == span_table.seg_ns
+
+
+def test_fault_counts_match_trial_counters(spanned_trial):
+    """Span roots partition into the trial's counter classes: serviced
+    majors carry ``swap_read``, serviced minors carry ``zero_fill``,
+    and the remainder resolved while blocked behind another thread's
+    in-flight fault (MMStats counts those as neither)."""
+    off, on = spanned_trial
+    table = on.spans
+    assert table.n_major == off.counters["major_faults"]
+    minors = sum(
+        1
+        for r in table.records
+        if not r["major"] and "zero_fill" in r["segs"]
+    )
+    assert minors == off.counters["minor_faults"]
+    unserviced = table.n_faults - table.n_major - minors
+    assert unserviced >= 0
+    for record in table.records:
+        if record["major"] or "zero_fill" in record["segs"]:
+            continue
+        # Resolved without servicing: it waited out someone else's
+        # fault (or lost the PTE re-check race at zero cost).
+        assert set(record["segs"]) <= {"inflight_wait", "service"}
+
+
+def test_major_flag_matches_swap_read_segment(span_table):
+    for record in span_table.records:
+        assert record["major"] == ("swap_read" in record["segs"])
+
+
+def test_group_totals_partition_table_total(span_table):
+    assert sum(span_table.group_total_ns.values()) == span_table.total_ns
+    assert sum(span_table.group_faults.values()) == span_table.n_faults
+
+
+def test_segment_kinds_are_registered(span_table):
+    for kind in span_table.seg_ns:
+        assert kind in SEGMENT_KINDS
+    for thread_kinds in span_table.daemon_ns.values():
+        for kind in thread_kinds:
+            assert kind in SEGMENT_KINDS
+    assert ROOT_KIND not in span_table.seg_ns
+
+
+def test_instigators_name_real_threads(span_table):
+    names = {r["thread"] for r in span_table.records}
+    names.update(span_table.daemon_ns)
+    for by_name in span_table.inst_ns.values():
+        for name in by_name:
+            assert name in names
+
+
+def test_percentiles_bracket_exact_max(span_table):
+    assert span_table.max_ns == max(
+        r["total_ns"] for r in span_table.records
+    )
+    assert 0 < span_table.percentile(50) <= span_table.percentile(99)
+    assert span_table.top_spans()[0]["total_ns"] == span_table.max_ns
+
+
+def test_top_k_are_the_k_slowest(span_table):
+    totals = sorted((r["total_ns"] for r in span_table.records), reverse=True)
+    top = span_table.top_spans()
+    assert [r["total_ns"] for r in top] == totals[: len(top)]
+
+
+# ----------------------------------------------------------------------
+# sampling: aggregates exact, retention thinned
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("every", [3, 7])
+def test_head_sampling_thins_records_not_aggregates(
+    tiny_tpch, spanned_trial, every
+):
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    sampled = run_trial(
+        "tpch", config, SEED, spans=SpansConfig(sample_every=every)
+    ).spans
+    full = spanned_trial[1].spans
+    # Aggregates cover every fault regardless of sampling.
+    assert sampled.n_faults == full.n_faults
+    assert sampled.total_ns == full.total_ns
+    assert sampled.seg_ns == full.seg_ns
+    assert sampled.hist == full.hist
+    # Retention keeps exactly the 1-in-N head sample.
+    expected = (full.n_faults + every - 1) // every
+    assert sampled.n_retained == expected
+    assert sampled.n_dropped == full.n_faults - expected
+    # The top-K stays exact even when its spans weren't retained.
+    assert [r["total_ns"] for r in sampled.top_spans()] == [
+        r["total_ns"] for r in full.top_spans()
+    ]
+
+
+def test_max_spans_caps_retention(tiny_tpch):
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    table = run_trial(
+        "tpch", config, SEED, spans=SpansConfig(max_spans=16)
+    ).spans
+    assert len(table.records) == 16
+    assert table.n_faults > 16  # aggregates still cover everything
+
+
+# ----------------------------------------------------------------------
+# serialization + merge
+# ----------------------------------------------------------------------
+
+def test_table_roundtrips_through_json(span_table):
+    obj = json.loads(json.dumps(span_table.to_obj()))
+    assert obj["format"] == "repro.spans/v1"
+    assert SpanTable.from_obj(obj).to_obj() == span_table.to_obj()
+
+
+def test_merge_is_order_independent(tiny_tpch, spanned_trial):
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    t1 = spanned_trial[1].spans
+    t2 = run_trial("tpch", config, SEED + 1, spans=SpansConfig()).spans
+    obj1, obj2 = t1.to_obj(), t2.to_obj()
+
+    def tagged(obj, trial):
+        table = SpanTable.from_obj(obj)
+        table.tag(trial)
+        return table
+
+    ab = tagged(obj1, "a")
+    ab.merge(tagged(obj2, "b"))
+    ba = tagged(obj2, "b")
+    ba.merge(tagged(obj1, "a"))
+    assert ab.to_obj() == ba.to_obj()
+    assert ab.n_faults == t1.n_faults + t2.n_faults
+    assert ab.total_ns == t1.total_ns + t2.total_ns
+    assert ab.max_ns == max(t1.max_ns, t2.max_ns)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SpansConfig(sample_every=0)
+    with pytest.raises(ConfigError):
+        SpansConfig(top_k=0)
+    with pytest.raises(ConfigError):
+        SpansConfig(max_spans=-1)
+    with pytest.raises(ConfigError):
+        SpansConfig(profile_interval_ns=-1)
+    SpansConfig(profile_interval_ns=0)  # 0 = profiler off, valid
+
+
+def test_recorder_detaches_cleanly(tiny_tpch):
+    """A spanned trial leaves no observer behind for the next trial in
+    the same process (the REPRO_JOBS worker-reuse shape)."""
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    run_trial("tpch", config, SEED, spans=SpansConfig())
+    bare = run_trial("tpch", config, SEED)
+    assert bare.spans is None

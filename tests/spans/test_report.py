@@ -1,0 +1,92 @@
+"""Critical-path report rendering: exact shares, exemplars, diffs."""
+
+from __future__ import annotations
+
+from repro.spans import SpanTable
+from repro.spans.recorder import SEGMENT_KINDS
+from repro.spans.report import (
+    compare_markdown,
+    render_markdown,
+    segment_share_rows,
+    top_span_rows,
+)
+
+
+def test_segment_share_rows_cover_all_fault_time(span_table):
+    rows = segment_share_rows(span_table)
+    assert rows
+    shown = {row[0] for row in rows}
+    assert shown == set(span_table.seg_ns)
+    # The shares are exact: the underlying nanoseconds sum to the total.
+    assert sum(span_table.seg_ns.values()) == span_table.total_ns
+
+
+def test_segment_share_rows_sorted_by_time(span_table):
+    rows = segment_share_rows(span_table)
+    times = [span_table.seg_ns[row[0]] for row in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_top_span_rows_match_top_spans(span_table):
+    rows = top_span_rows(span_table)
+    assert len(rows) == len(span_table.top_records)
+    # Slowest first, kind column consistent with the record.
+    for row, record in zip(rows, span_table.top_spans()):
+        assert row[4] == ("major" if record["major"] else "minor")
+        assert row[3] == str(record["vpn"])
+
+
+def test_render_markdown_sections(span_table):
+    text = render_markdown(span_table, title="tiny cell")
+    assert text.startswith("# tiny cell")
+    assert "## Critical-path segment shares (all faults, exact)" in text
+    assert "## Exemplar decompositions" in text
+    assert "## Top" in text and "slowest spans" in text
+    assert "## Segment key" in text
+    for kind in span_table.seg_ns:
+        assert f"`{kind}`" in text
+    assert f"{span_table.n_faults} faults" in text
+
+
+def test_exemplar_decompositions_sum_exactly(span_table):
+    """The rendered exemplar tables show raw nanoseconds whose sum is
+    the span total — parse them back out of the markdown and check."""
+    text = render_markdown(span_table)
+    blocks = text.split("### ")[1:]
+    assert blocks, "expected p50/p99/max exemplar blocks"
+    for block in blocks:
+        if not block.splitlines()[0].split(":")[0] in ("p50", "p99", "max"):
+            continue
+        # The last block runs into later h2 sections; stop there.
+        block = block.split("\n## ")[0]
+        header = block.splitlines()[0]
+        total = int(header.split(":")[1].strip().split("ns")[0])
+        seg_sum = 0
+        for line in block.splitlines():
+            cells = [c.strip() for c in line.split("|")]
+            if len(cells) >= 5 and cells[1] in SEGMENT_KINDS:
+                seg_sum += int(cells[2])
+        assert seg_sum == total
+
+
+def test_render_handles_empty_table():
+    text = render_markdown(SpanTable())
+    assert "0 faults" in text
+    assert "## Segment key" in text
+
+
+def test_compare_markdown_diffs_segments(span_table):
+    other = SpanTable.from_obj(span_table.to_obj())
+    text = compare_markdown(span_table, other, "clock", "mglru")
+    assert "# Critical-path diff: clock vs mglru" in text
+    assert "| clock ns/fault | mglru ns/fault |" in text
+    # Identical tables: every delta is zero.
+    assert "+0ns" in text
+    for kind in span_table.seg_ns:
+        assert f"| {kind} |" in text
+
+
+def test_compare_markdown_flags_new_segments(span_table):
+    empty = SpanTable()
+    text = compare_markdown(empty, span_table, "a", "b")
+    assert "new" in text

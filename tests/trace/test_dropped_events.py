@@ -1,0 +1,108 @@
+"""Ring-buffer overflow surfacing: metrics counter + loud CLI warning.
+
+A capture that overflowed its ring buffer silently lost its *oldest*
+events; both observability surfaces must make that loud — the metrics
+registry via ``repro_trace_dropped_events_total`` and the trace CLI
+via a stderr warning on capture and on analyze.
+"""
+
+from __future__ import annotations
+
+import repro.workloads as workloads_pkg
+from repro.core.config import SystemConfig
+from repro.core.experiment import run_trial
+from repro.metrics import MetricsConfig
+from repro.trace.__main__ import main
+from repro.trace.config import TraceConfig
+
+from .conftest import SEED, tiny_tpch_factory
+
+
+def _counter_value(registry, name: str) -> int:
+    for metric in registry.to_dict()["metrics"]:
+        if metric["name"] == name:
+            return sum(int(s["value"]) for s in metric["series"])
+    raise AssertionError(f"{name} not in registry")
+
+
+def _tiny_trial(trace: TraceConfig):
+    prev = workloads_pkg.WORKLOAD_FACTORIES["tpch"]
+    workloads_pkg.WORKLOAD_FACTORIES["tpch"] = tiny_tpch_factory
+    config = SystemConfig(policy="mglru", swap="ssd", capacity_ratio=0.5)
+    try:
+        return run_trial(
+            "tpch", config, SEED, trace=trace, metrics=MetricsConfig()
+        )
+    finally:
+        workloads_pkg.WORKLOAD_FACTORIES["tpch"] = prev
+
+
+def test_dropped_events_counter_counts_overflow():
+    result = _tiny_trial(TraceConfig(ringbuf_capacity=64))
+    capture = result.trace
+    assert capture.dropped_events > 0, "64 slots must overflow"
+    assert capture.dropped_events == capture.total_events - capture.n_events
+    assert (
+        _counter_value(
+            result.metrics_registry, "repro_trace_dropped_events_total"
+        )
+        == capture.dropped_events
+    )
+
+
+def test_dropped_events_counter_zero_without_overflow():
+    result = _tiny_trial(TraceConfig())
+    assert result.trace.dropped_events == 0
+    assert (
+        _counter_value(
+            result.metrics_registry, "repro_trace_dropped_events_total"
+        )
+        == 0
+    )
+
+
+def test_cli_warns_loudly_on_dropped_events(tmp_path, monkeypatch, capsys):
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES, "tpch", tiny_tpch_factory
+    )
+    out_dir = tmp_path / "overflowed"
+    rc = main(
+        [
+            "capture",
+            "--workload", "tpch",
+            "--seed", str(SEED),
+            "--interval-ms", "1",
+            "--capacity", "64",
+            "--out", str(out_dir),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "WARNING: ring buffer overflowed" in captured.err
+    assert "--capacity" in captured.err
+
+    # The warning persists offline: analyzing the saved capture repeats
+    # it (the overflow is a property of the artifact, not the run).
+    rc = main(["analyze", str(out_dir / "trace.npz")])
+    analyzed = capsys.readouterr()
+    assert rc == 0
+    assert "WARNING: ring buffer overflowed" in analyzed.err
+
+
+def test_cli_quiet_without_dropped_events(tmp_path, monkeypatch, capsys):
+    monkeypatch.setitem(
+        workloads_pkg.WORKLOAD_FACTORIES, "tpch", tiny_tpch_factory
+    )
+    out_dir = tmp_path / "clean"
+    rc = main(
+        [
+            "capture",
+            "--workload", "tpch",
+            "--seed", str(SEED),
+            "--interval-ms", "1",
+            "--out", str(out_dir),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "ring buffer overflowed" not in captured.err

@@ -1,0 +1,35 @@
+"""``python -m repro.trace list``: the tracepoint/column-set catalog."""
+
+from __future__ import annotations
+
+from repro.trace.__main__ import main
+from repro.trace.tracepoints import TRACEPOINTS
+from repro.trace.vmstat import (
+    GAUGES,
+    MM_COUNTERS,
+    PSI_COUNTERS,
+    VMSTAT_VERSION,
+)
+
+
+def test_list_names_every_tracepoint_with_payload_fields(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name, fields in TRACEPOINTS.items():
+        assert name in out
+        for field in fields:
+            if field != "unused":
+                assert field in out
+    assert "unused" not in out  # padding fields are not documented
+
+
+def test_list_shows_vmstat_column_sets_by_version(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert f"current version: v{VMSTAT_VERSION}" in out
+    assert "v1: cumulative counters + gauges" in out
+    assert "v2: v1 + PSI" in out
+    for name in MM_COUNTERS + GAUGES + PSI_COUNTERS:
+        assert name in out
+    # v1 loading contract is stated for capture consumers.
+    assert "pre-PSI captures load as v1" in out
